@@ -1,0 +1,37 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every experiment prints its table/series through the ``emit`` fixture,
+which bypasses pytest's capture (so the tables appear in the terminal
+and in ``bench_output.txt``) and archives a copy under
+``benchmarks/results/``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def emit(capfd, request):
+    """Print experiment output past pytest's capture and archive it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    archive = RESULTS_DIR / f"{request.node.name}.txt"
+    archive.write_text("")
+
+    def _emit(text: str) -> None:
+        with capfd.disabled():
+            print(text, flush=True)
+        with archive.open("a") as handle:
+            handle.write(text + "\n")
+
+    return _emit

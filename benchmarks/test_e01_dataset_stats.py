@@ -1,0 +1,39 @@
+"""E1 — Dataset statistics table (the paper's Table 1 analogue).
+
+Prints, per evaluation corpus: record count, vocabulary size and the
+record-length distribution, plus the self-join result density at the
+default threshold. The *shape* to match: four corpora spanning very
+short (AOL) to long, heavy-tailed (ENRON) records.
+"""
+
+from common import BENCH_CORPORA
+from repro.bench.report import format_table
+from repro.core.config import JoinConfig
+from repro.core.join import DistributedStreamJoin
+
+
+def build_stats():
+    rows = []
+    for name, builder in BENCH_CORPORA.items():
+        stream = builder()
+        row = stream.statistics().as_row()
+        report = DistributedStreamJoin(
+            JoinConfig(threshold=0.8, num_workers=4)
+        ).run(stream)
+        row["pairs@0.8"] = report.results
+        rows.append(row)
+    return rows
+
+
+def test_e01_dataset_stats(benchmark, emit):
+    rows = benchmark.pedantic(build_stats, rounds=1, iterations=1)
+    emit(format_table(rows, title="\nE1: evaluation corpora (density-calibrated)"))
+
+    by_name = {row["dataset"]: row for row in rows}
+    # Shape: AOL shortest, ENRON longest and heavy-tailed.
+    assert by_name["AOL"]["avg_len"] < by_name["TWEET"]["avg_len"]
+    assert by_name["TWEET"]["avg_len"] <= by_name["DBLP"]["avg_len"]
+    assert by_name["DBLP"]["avg_len"] < by_name["ENRON"]["avg_len"]
+    assert by_name["ENRON"]["max_len"] > 5 * by_name["ENRON"]["avg_len"] / 2
+    for row in rows:
+        assert row["pairs@0.8"] > 0, f"{row['dataset']} produced no results"

@@ -1,0 +1,70 @@
+"""E2 — Throughput vs similarity threshold (the headline figure).
+
+The paper's claim: the length-based framework beats the prefix-based
+and naive baselines across thresholds, with the gap widening as θ
+falls (lower θ ⇒ longer prefixes ⇒ more replication and duplicated
+filtering for PRE, while LEN's single-copy index only grows its probe
+fan-out). Reproduced on the long-record corpus (ENRON), where the
+effect is strongest, and on DBLP, whose tight length distribution marks
+the crossover regime.
+"""
+
+from common import DISPATCHERS, bench_dblp, bench_enron, same_results
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_series
+
+THRESHOLDS = [0.70, 0.75, 0.80, 0.85, 0.90]
+METHODS = ["BRD", "PRE", "LEN-U", "LEN", "LEN+BUN"]
+
+
+def sweep(stream, num_workers):
+    series = {label: [] for label in METHODS}
+    for threshold in THRESHOLDS:
+        configs = standard_configs(
+            num_workers=num_workers,
+            threshold=threshold,
+            include=METHODS,
+            dispatcher_parallelism=DISPATCHERS,
+        )
+        reports = run_methods(stream, configs)
+        assert same_results(reports)
+        for label, report in reports.items():
+            series[label].append(report.throughput)
+    return series
+
+
+def test_e02_enron(benchmark, emit):
+    stream = bench_enron()
+    series = benchmark.pedantic(sweep, args=(stream, 8), rounds=1, iterations=1)
+    emit(format_series(
+        "theta", THRESHOLDS, series,
+        title="\nE2a: throughput (rec/s) vs θ — ENRON-like, k=8",
+    ))
+    for i, theta in enumerate(THRESHOLDS):
+        # The paper's ordering: length-based beats prefix-based and
+        # broadcast at every threshold on long records.
+        assert series["LEN"][i] > series["PRE"][i], f"LEN <= PRE at θ={theta}"
+        assert series["LEN"][i] > series["BRD"][i], f"LEN <= BRD at θ={theta}"
+    # Gap widens as θ falls.
+    gap_low = series["LEN"][0] / series["PRE"][0]
+    gap_high = series["LEN"][-1] / series["PRE"][-1]
+    assert gap_low > 1.2
+    emit(f"LEN/PRE speedup: {gap_low:.2f}x at θ=0.70, {gap_high:.2f}x at θ=0.90")
+
+
+def test_e02_dblp(benchmark, emit):
+    stream = bench_dblp()
+    series = benchmark.pedantic(sweep, args=(stream, 8), rounds=1, iterations=1)
+    emit(format_series(
+        "theta", THRESHOLDS, series,
+        title="\nE2b: throughput (rec/s) vs θ — DBLP-like, k=8",
+    ))
+    # Tight length distributions shrink the length filter's advantage:
+    # the paper's method still beats the naive baseline everywhere and
+    # stays within the prefix scheme's ballpark, but the big wins live
+    # on spread-out corpora like ENRON (E2a). Documented in
+    # EXPERIMENTS.md as the reproduction's crossover finding.
+    for i in range(len(THRESHOLDS)):
+        assert series["LEN"][i] > series["BRD"][i]
+        assert series["LEN"][i] > 0.6 * series["PRE"][i]
+        assert series["LEN"][i] > series["LEN-U"][i] * 0.95

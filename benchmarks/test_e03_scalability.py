@@ -1,0 +1,50 @@
+"""E3 — Throughput vs number of processing units (the scaling figure).
+
+The paper's shape: the length-based scheme scales with added join
+workers, while the prefix scheme's replication grows with k (more
+distinct prefix-token owners), capping its scaling well below the
+length scheme's, and broadcast anti-scales outright (k messages per
+record).
+"""
+
+from common import DISPATCHERS, bench_enron, same_results
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_series
+
+WORKERS = [1, 2, 4, 8, 16]
+METHODS = ["BRD", "PRE", "LEN"]
+
+
+def sweep(stream):
+    series = {label: [] for label in METHODS}
+    for k in WORKERS:
+        configs = standard_configs(
+            num_workers=k,
+            threshold=0.75,
+            include=METHODS,
+            dispatcher_parallelism=DISPATCHERS,
+        )
+        reports = run_methods(stream, configs)
+        assert same_results(reports)
+        for label, report in reports.items():
+            series[label].append(report.throughput)
+    return series
+
+
+def test_e03_scalability(benchmark, emit):
+    stream = bench_enron()
+    series = benchmark.pedantic(sweep, args=(stream,), rounds=1, iterations=1)
+    emit(format_series(
+        "workers", WORKERS, series,
+        title="\nE3: throughput (rec/s) vs join workers — ENRON-like, θ=0.75",
+    ))
+    speedup = series["LEN"][-1] / series["LEN"][0]
+    emit(f"LEN speedup 1→16 workers: {speedup:.1f}x")
+
+    # LEN gains substantially from parallelism.
+    assert speedup > 3.0
+    # At full parallelism the paper's scheme leads both baselines.
+    assert series["LEN"][-1] > series["PRE"][-1]
+    assert series["LEN"][-1] > series["BRD"][-1]
+    # Broadcast stops scaling early: adding workers beyond 4 buys < 30%.
+    assert series["BRD"][-1] < series["BRD"][2] * 1.3

@@ -1,0 +1,71 @@
+"""E4 — Communication cost: messages and bytes shipped per record.
+
+The paper's argument for length-based distribution: *no replication*.
+A record is indexed at one worker and probed at the few workers whose
+length ranges intersect its admissible interval, while the prefix
+scheme ships a full copy to every distinct prefix-token owner — a set
+that grows as the threshold falls and as records lengthen — and
+broadcast ships k copies always. Density does not matter here, so the
+streams are small and the experiment is cheap.
+"""
+
+from common import SEED
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_series
+from repro.datasets import synthetic_enron, synthetic_tweet
+
+THRESHOLDS = [0.70, 0.75, 0.80, 0.85, 0.90]
+METHODS = ["BRD", "PRE", "LEN"]
+K = 8
+
+
+def sweep(stream, metric):
+    series = {label: [] for label in METHODS}
+    for threshold in THRESHOLDS:
+        configs = standard_configs(
+            num_workers=K, threshold=threshold, include=METHODS
+        )
+        for label, report in run_methods(stream, configs).items():
+            series[label].append(metric(report))
+    return series
+
+
+def test_e04_messages_enron(benchmark, emit):
+    stream = synthetic_enron(800, seed=SEED)
+    series = benchmark.pedantic(
+        sweep,
+        args=(stream, lambda report: report.messages_per_record),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_series(
+        "theta", THRESHOLDS, series, precision=2,
+        title=f"\nE4a: messages per record vs θ — ENRON-like, k={K}",
+    ))
+    for i in range(len(THRESHOLDS)):
+        # no-replication claim: LEN ships the fewest copies on long records
+        assert series["LEN"][i] < series["PRE"][i]
+        assert series["LEN"][i] < series["BRD"][i]
+    # PRE's replication grows as θ falls (longer prefixes).
+    assert series["PRE"][0] > series["PRE"][-1] * 1.15
+
+
+def test_e04_bytes_tweet(benchmark, emit):
+    stream = synthetic_tweet(2_000, seed=SEED)
+    series = benchmark.pedantic(
+        sweep,
+        args=(stream, lambda report: report.bytes_per_record),
+        rounds=1,
+        iterations=1,
+    )
+    emit(format_series(
+        "theta", THRESHOLDS, series, precision=1,
+        title=f"\nE4b: bytes per record vs θ — TWEET-like, k={K}",
+    ))
+    for i in range(len(THRESHOLDS)):
+        # Broadcast is always the most expensive wire load.
+        assert series["BRD"][i] > series["PRE"][i]
+        assert series["BRD"][i] > series["LEN"][i]
+    # On short records LEN and PRE are comparable — within 2x.
+    for i in range(len(THRESHOLDS)):
+        assert series["LEN"][i] < 2.0 * series["PRE"][i]

@@ -1,0 +1,69 @@
+"""E7 — Bundle-based join: filtering cost vs near-duplicate density.
+
+The paper's claim: grouping similar records on the fly reduces
+filtering cost — one bundle posting replaces many record postings, so
+probes scan fewer entries. The savings must grow with the stream's
+near-duplicate density (retweet/repost share). Sweeping that density
+with everything else fixed shows the crossover: plain records win on
+duplicate-free streams, bundles win as duplicates take over.
+"""
+
+from common import DISPATCHERS, SEED
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_table
+from repro.datasets import synthetic_tweet
+
+DUP_RATES = [0.0, 0.2, 0.4, 0.6]
+K = 8
+
+
+def sweep():
+    rows = []
+    for dup in DUP_RATES:
+        stream = synthetic_tweet(
+            10_000,
+            seed=SEED,
+            vocabulary_size=1_200,
+            duplicate_rate=dup,
+            exact_duplicate_fraction=0.7,
+        )
+        configs = standard_configs(
+            num_workers=K, threshold=0.8, include=["LEN", "LEN+BUN"],
+            dispatcher_parallelism=DISPATCHERS,
+        )
+        reports = run_methods(stream, configs)
+        assert reports["LEN"].results == reports["LEN+BUN"].results
+        for label, report in reports.items():
+            rows.append(
+                {
+                    "dup_rate": dup,
+                    "method": label,
+                    "results": report.results,
+                    "postings": int(report.cluster.counter("final_postings")),
+                    "scans": int(report.cluster.counter("op:posting_scan")),
+                    "throughput": round(report.throughput),
+                }
+            )
+    return rows
+
+
+def test_e07_bundle_filtering(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        rows,
+        title=f"\nE7: bundles vs duplicate density — TWEET-like, k={K}, θ=0.8",
+    ))
+    by_key = {(row["dup_rate"], row["method"]): row for row in rows}
+    for dup in DUP_RATES:
+        bun = by_key[(dup, "LEN+BUN")]
+        plain = by_key[(dup, "LEN")]
+        # Bundling never inflates the index, and the posting savings
+        # grow with duplicate density.
+        assert bun["postings"] <= plain["postings"]
+    saving_low = 1 - by_key[(0.0, "LEN+BUN")]["postings"] / by_key[(0.0, "LEN")]["postings"]
+    saving_high = 1 - by_key[(0.6, "LEN+BUN")]["postings"] / by_key[(0.6, "LEN")]["postings"]
+    emit(f"posting savings: {saving_low:.0%} at dup=0.0 → {saving_high:.0%} at dup=0.6")
+    assert saving_high > 0.30
+    assert saving_high > saving_low
+    # Scan savings follow posting savings on duplicate-heavy streams.
+    assert by_key[(0.6, "LEN+BUN")]["scans"] < by_key[(0.6, "LEN")]["scans"]

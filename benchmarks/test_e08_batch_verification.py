@@ -1,0 +1,79 @@
+"""E8 — Batch verification vs one-by-one verification.
+
+The paper's by-product technique: verify a probe against a whole
+candidate bundle through the representative plus per-member token
+diffs, sharing the merge across members. Measured as token-comparison
+operations per member verification, on a repost-heavy stream where
+bundles actually hold many members.
+"""
+
+from common import DISPATCHERS, SEED
+from repro.bench.harness import run_methods
+from repro.bench.report import format_table
+from repro.core.config import JoinConfig
+from repro.datasets import synthetic_tweet
+
+K = 8
+
+
+def measure():
+    stream = synthetic_tweet(
+        10_000,
+        seed=SEED,
+        vocabulary_size=1_200,
+        duplicate_rate=0.55,
+        exact_duplicate_fraction=0.85,
+    )
+    base = dict(
+        threshold=0.8,
+        num_workers=K,
+        use_bundles=True,
+        bundle_threshold=0.9,
+        dispatcher_parallelism=DISPATCHERS,
+    )
+    configs = {
+        "batch": JoinConfig(batch_verification=True, **base),
+        "individual": JoinConfig(batch_verification=False, **base),
+    }
+    reports = run_methods(stream, configs)
+    assert reports["batch"].results == reports["individual"].results
+    rows = []
+    for label, report in reports.items():
+        comparisons = report.cluster.counter("op:token_compare")
+        verifications = max(1.0, report.verifications)
+        results = max(1, report.results)
+        rows.append(
+            {
+                "verification": label,
+                "results": report.results,
+                "token_compares": int(comparisons),
+                "member_verifications": int(verifications),
+                "compares/result": round(comparisons / results, 1),
+                "throughput": round(report.throughput),
+            }
+        )
+    return rows
+
+
+def test_e08_batch_verification(benchmark, emit):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(format_table(
+        rows,
+        title=f"\nE8: batch vs individual verification — repost-heavy TWEET, k={K}",
+    ))
+    by_label = {row["verification"]: row for row in rows}
+    # Sharing the representative merge must cut total comparison work —
+    # and the triangle-bound prefilter additionally skips whole member
+    # loops, so member verifications drop too.
+    assert (
+        by_label["batch"]["token_compares"]
+        < by_label["individual"]["token_compares"]
+    )
+    assert (
+        by_label["batch"]["member_verifications"]
+        < by_label["individual"]["member_verifications"]
+    )
+    assert (
+        by_label["batch"]["compares/result"]
+        < by_label["individual"]["compares/result"]
+    )

@@ -1,0 +1,62 @@
+"""E9 — Sliding-window size: state, results and throughput.
+
+Streaming joins bound their state with a time window. Growing the
+window monotonically grows the live index (more postings), the result
+set (more alive partners), and the per-probe work — throughput falls.
+The unbounded column is the append-only regime the throughput
+experiments use.
+"""
+
+import math
+
+from common import DISPATCHERS, SEED
+from repro.bench.harness import run_methods
+from repro.bench.report import format_table
+from repro.core.config import JoinConfig
+from repro.datasets import synthetic_tweet
+
+# At 1000 records/second these windows hold ~1k, ~3k, ~6k records, ∞.
+WINDOWS = [1.0, 3.0, 6.0, math.inf]
+K = 8
+
+
+def sweep():
+    stream = synthetic_tweet(
+        10_000, seed=SEED, vocabulary_size=1_200, duplicate_rate=0.25
+    )
+    rows = []
+    for window in WINDOWS:
+        config = JoinConfig(
+            threshold=0.8,
+            num_workers=K,
+            window_seconds=window,
+            dispatcher_parallelism=DISPATCHERS,
+        )
+        reports = run_methods(stream, {"LEN": config})
+        report = reports["LEN"]
+        rows.append(
+            {
+                "window_s": window,
+                "results": report.results,
+                "live_postings": int(report.cluster.counter("final_postings")),
+                "scans": int(report.cluster.counter("op:posting_scan")),
+                "throughput": round(report.throughput),
+            }
+        )
+    return rows
+
+
+def test_e09_window_sweep(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        rows, title=f"\nE9: sliding-window sweep — TWEET-like, LEN, k={K}, θ=0.8"
+    ))
+    results = [row["results"] for row in rows]
+    postings = [row["live_postings"] for row in rows]
+    throughput = [row["throughput"] for row in rows]
+    # Results and retained state grow with the window...
+    assert results == sorted(results)
+    assert postings == sorted(postings)
+    assert postings[0] < postings[-1]
+    # ...and a small window sustains a higher rate than the unbounded run.
+    assert throughput[0] > throughput[-1]

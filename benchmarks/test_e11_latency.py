@@ -1,0 +1,75 @@
+"""E11 — Processing latency under increasing offered load.
+
+Latency here is queueing-aware: a probe's latency is the simulated time
+from its arrival at the source to the moment a join worker actually
+starts processing it. Below saturation it is dominated by network hops
+plus the watermark reordering wait (which shrinks as the input rate
+rises — watermarks come faster); past the bottleneck's capacity, queues
+build for the whole run and the tail explodes — the saturation knee the
+paper's latency experiment shows.
+"""
+
+from common import DISPATCHERS, SEED
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_table
+from repro.datasets import synthetic_tweet
+
+K = 8
+RATES = [100_000, 350_000, 700_000]
+
+
+def sweep():
+    rows = []
+    for rate in RATES:
+        stream = synthetic_tweet(
+            10_000,
+            seed=SEED,
+            vocabulary_size=1_200,
+            duplicate_rate=0.25,
+            rate=float(rate),
+        )
+        configs = standard_configs(
+            num_workers=K, threshold=0.8, include=["PRE", "LEN"],
+            dispatcher_parallelism=DISPATCHERS,
+        )
+        for label, report in run_methods(stream, configs).items():
+            rows.append(
+                {
+                    "offered rec/s": rate,
+                    "method": label,
+                    "capacity rec/s": round(report.throughput),
+                    "p50_ms": round(report.cluster.latency_p50 * 1e3, 3),
+                    "p95_ms": round(report.cluster.latency_p95 * 1e3, 3),
+                    "p99_ms": round(report.cluster.latency_p99 * 1e3, 3),
+                }
+            )
+    return rows
+
+
+def test_e11_latency(benchmark, emit):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(format_table(
+        rows, title=f"\nE11: latency vs offered rate — TWEET-like, k={K}, θ=0.8"
+    ))
+    len_rows = {row["offered rec/s"]: row for row in rows if row["method"] == "LEN"}
+    # Below saturation, latency sits in the network-hop + watermark-
+    # cadence regime (the reordering buffer waits for the next
+    # watermark round, so the wait *shrinks* as the rate rises).
+    assert len_rows[RATES[0]]["p50_ms"] < 5.0
+    # Offered rate above capacity ⇒ queues build for the whole run and
+    # the tail explodes — the saturation knee.
+    for row in rows:
+        if row["offered rec/s"] != RATES[-1]:
+            continue
+        below = next(
+            r for r in rows
+            if r["method"] == row["method"] and r["offered rec/s"] == RATES[0]
+        )
+        # Past capacity the tail always worsens; well past it (>1.3×,
+        # queues grow for most of the run) it explodes.
+        if row["offered rec/s"] > row["capacity rec/s"]:
+            assert row["p99_ms"] > below["p99_ms"]
+        if row["offered rec/s"] > 1.3 * row["capacity rec/s"]:
+            assert row["p99_ms"] > 3 * below["p99_ms"], (
+                f"{row['method']} tail did not explode past saturation"
+            )

@@ -1,0 +1,55 @@
+"""E13 — Sensitivity of the headline to the simulator's cost model.
+
+The reproduction's throughput numbers come from a calibrated cost
+model (DESIGN.md §5). The headline ordering — length-based beats the
+prefix baseline on long-record corpora — must not hinge on any single
+price. Each perturbation multiplies one price by 4× and re-measures
+the ENRON speedup; the ordering has to survive every one.
+"""
+
+from common import DISPATCHERS, bench_enron
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_table
+from repro.storm.costmodel import CostModel
+
+K = 8
+PERTURBATIONS = [
+    ("baseline", {}),
+    ("tuple_overhead x4", {"tuple_overhead": 1200.0}),
+    ("emit_overhead x4", {"emit_overhead": 320.0}),
+    ("posting_scan x4", {"posting_scan": 16.0}),
+    ("token_compare x4", {"token_compare": 4.0}),
+    ("candidate_admit x4", {"candidate_admit": 40.0}),
+    ("per_byte x4", {"tuple_per_byte": 0.48, "emit_per_byte": 0.32}),
+]
+
+
+def sweep(stream):
+    rows = []
+    for label, overrides in PERTURBATIONS:
+        cost = CostModel().scaled(**overrides)
+        configs = standard_configs(
+            num_workers=K, threshold=0.75, include=["PRE", "LEN"],
+            dispatcher_parallelism=DISPATCHERS,
+        )
+        reports = run_methods(stream, configs, cost=cost)
+        speedup = reports["LEN"].throughput / reports["PRE"].throughput
+        rows.append(
+            {
+                "perturbation": label,
+                "LEN rec/s": round(reports["LEN"].throughput),
+                "PRE rec/s": round(reports["PRE"].throughput),
+                "LEN/PRE": round(speedup, 2),
+            }
+        )
+    return rows
+
+
+def test_e13_cost_sensitivity(benchmark, emit):
+    rows = benchmark.pedantic(sweep, args=(bench_enron(),), rounds=1, iterations=1)
+    emit(format_table(
+        rows,
+        title=f"\nE13: LEN/PRE speedup under 4x cost perturbations — ENRON, k={K}",
+    ))
+    for row in rows:
+        assert row["LEN/PRE"] > 1.0, f"ordering flipped under {row['perturbation']}"

@@ -1,0 +1,103 @@
+"""E14 — Adaptive repartitioning under length drift (extension).
+
+Not in the paper's evaluation: the paper plans its load-aware partition
+once from stream statistics. This experiment quantifies what drift does
+to a static plan — a mid-stream shift from short-mail to long-mail
+traffic — and what the adaptive partitioner (``repro.partition.adaptive``)
+recovers, including the index-migration price of the replan.
+
+Method: build a two-phase stream; plan A from phase 1. Run phase 2
+under plan A (static) and under plan B replanned by the adaptive
+partitioner at the phase boundary (adaptive). Compare measured balance
+and throughput on phase 2.
+"""
+
+from common import DISPATCHERS, SEED
+from repro.bench.report import format_table
+from repro.core.config import JoinConfig
+from repro.core.join import DistributedStreamJoin
+from repro.datasets.generators import CorpusSpec, lognormal_lengths, stream_from_spec
+from repro.partition.adaptive import AdaptiveLengthPartitioner, migration_fraction
+from repro.partition.stats import LengthHistogram
+from repro.routing.length_router import LengthRouter
+from repro.similarity.functions import Jaccard
+from repro.streams.stream import RecordStream
+
+K = 8
+THETA = 0.75
+
+
+def _phase(mu: float, n: int, seed: int) -> RecordStream:
+    spec = CorpusSpec(
+        name=f"mail-mu{mu}",
+        vocabulary_size=8_000,
+        length_model=lognormal_lengths(mu=mu, sigma=0.45, lo=5, hi=400),
+        duplicate_rate=0.1,
+    )
+    return stream_from_spec(spec, n, seed=seed, rate=200.0)
+
+
+def _run_with_partition(stream, partition):
+    """Run the length scheme with an explicit pre-built partition."""
+    config = JoinConfig(
+        threshold=THETA, num_workers=K, dispatcher_parallelism=DISPATCHERS
+    )
+    join = DistributedStreamJoin(config)
+    router = LengthRouter(partition, join.func)
+    join.plan = lambda _stream: (router, partition)  # pin the plan
+    return join.run(stream)
+
+
+def measure():
+    func = Jaccard(THETA)
+    phase1 = _phase(mu=3.0, n=2_000, seed=SEED)        # short mails (~20 tokens)
+    phase2 = _phase(mu=4.6, n=2_000, seed=SEED + 1)    # long mails (~100 tokens)
+
+    adaptive = AdaptiveLengthPartitioner(
+        func, K, vocabulary_size=8_000, half_life=600,
+        check_interval=500, imbalance_trigger=1.4,
+    )
+    for tokens in phase1.corpus:
+        adaptive.observe(len(tokens))
+    static_plan = adaptive.partition
+    assert static_plan is not None
+
+    replans_before = adaptive.replans
+    decision = None
+    for tokens in phase2.corpus:
+        outcome = adaptive.observe(len(tokens))
+        if outcome is not None and outcome.replanned and decision is None:
+            decision = outcome
+    assert adaptive.replans > replans_before, "drift must trigger a replan"
+    adaptive_plan = adaptive.partition
+
+    histogram = LengthHistogram.from_corpus(phase2.corpus)
+    migration = migration_fraction(static_plan, adaptive_plan, histogram, func)
+
+    rows = []
+    for label, plan in (("static (phase-1 plan)", static_plan),
+                        ("adaptive (replanned)", adaptive_plan)):
+        report = _run_with_partition(phase2, plan)
+        rows.append(
+            {
+                "plan": label,
+                "balance": round(report.load_balance, 2),
+                "throughput": round(report.throughput),
+                "ranges": plan.describe(),
+            }
+        )
+    return rows, migration, (decision.projected_imbalance if decision else None)
+
+
+def test_e14_adaptive_partition(benchmark, emit):
+    rows, migration, projected = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(format_table(
+        [{k: row[k] for k in ("plan", "balance", "throughput")} for row in rows],
+        title=f"\nE14: phase-2 performance after a length-drift — k={K}, θ={THETA}",
+    ))
+    emit(f"replan trigger fired at projected imbalance {projected:.2f}; "
+         f"estimated index migration: {migration:.0%} of postings")
+    static, adaptive = rows
+    assert adaptive["balance"] < static["balance"]
+    assert adaptive["throughput"] > 1.15 * static["throughput"]
+    assert 0.0 < migration <= 1.0

@@ -1,0 +1,11 @@
+"""Make the in-tree package importable even without installation."""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent / "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

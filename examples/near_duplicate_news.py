@@ -1,0 +1,63 @@
+"""On-line near-duplicate detection on a bursty news stream.
+
+The paper's motivating application: web documents arrive continuously;
+reposts and lightly edited copies must be flagged in real time. This
+example runs the full system (bundles + batch verification) on a bursty
+synthetic tweet stream under a sliding window, and shows why bundling
+matters: bursts of near-identical posts collapse into a few bundles,
+keeping the index small.
+
+Run:  python examples/near_duplicate_news.py
+"""
+
+from repro import DistributedStreamJoin, JoinConfig
+from repro.datasets import synthetic_tweet
+from repro.streams.arrival import BurstyArrivals
+
+
+def run(label: str, use_bundles: bool, stream) -> None:
+    config = JoinConfig(
+        similarity="jaccard",
+        threshold=0.8,
+        num_workers=8,
+        distribution="length",
+        partitioning="load_aware",
+        use_bundles=use_bundles,
+        bundle_threshold=0.9,
+        window_seconds=30.0,  # only recent posts are duplicate partners
+    )
+    report = DistributedStreamJoin(config).run(stream)
+    counters = report.cluster.counters
+    print(f"{label:8s}", end="")
+    print(f"  duplicates={report.results:6d}", end="")
+    print(f"  index postings={int(counters.get('final_postings', 0)):7d}", end="")
+    print(f"  scans={int(counters.get('op:posting_scan', 0)):9d}", end="")
+    print(f"  p95 latency={report.cluster.latency_p95 * 1e3:7.3f} ms", end="")
+    if "final_bundles" in counters:
+        print(f"  bundles={int(counters['final_bundles'])}", end="")
+    print()
+
+
+def main() -> None:
+    # A flash-crowd arrival process: bursts of 200 posts at 2000/s,
+    # with quiet gaps — and a high share of reposts inside bursts.
+    stream = synthetic_tweet(
+        12_000,
+        seed=42,
+        duplicate_rate=0.45,
+        exact_duplicate_fraction=0.7,
+        vocabulary_size=5_000,
+        arrivals=BurstyArrivals(burst_rate=2000, burst_len=200, gap=2.0, seed=42),
+    )
+    stats = stream.statistics()
+    print(f"stream: {stats.num_records} posts, avg {stats.avg_size:.1f} tokens, "
+          f"vocabulary {stats.vocabulary_size}")
+    print()
+    run("records", use_bundles=False, stream=stream)
+    run("bundles", use_bundles=True, stream=stream)
+    print("\nBundling groups repost bursts: fewer postings, fewer scans,")
+    print("identical duplicate sets (both rows report the same count).")
+
+
+if __name__ == "__main__":
+    main()

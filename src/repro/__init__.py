@@ -1,0 +1,72 @@
+"""repro — Distributed Streaming Set Similarity Join (ICDE 2020).
+
+A full reproduction of the paper's system in pure Python:
+
+* the **length-based distribution framework** — route streaming records
+  to join workers by length: one index copy, no replication, small
+  communication cost (:mod:`repro.routing`);
+* **load-aware length partitioning** — balance workers by estimated
+  local join cost (:mod:`repro.partition`);
+* the **bundle-based join** — group highly similar records on the fly
+  and index bundles to cut filtering cost (:mod:`repro.core.bundle`);
+* **batch verification** — verify a probe against a whole bundle via
+  the representative plus per-member token diffs
+  (:mod:`repro.core.verify`);
+* the **baselines** it is compared against — prefix-based and broadcast
+  distribution;
+* everything underneath: a set-similarity toolkit
+  (:mod:`repro.similarity`), a deterministic Storm-like cluster
+  simulator (:mod:`repro.storm`), streaming/windowing semantics
+  (:mod:`repro.streams`), synthetic evaluation corpora
+  (:mod:`repro.datasets`) and the benchmark harness
+  (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro import DistributedStreamJoin, JoinConfig
+    from repro.datasets import synthetic_tweet
+
+    cfg = JoinConfig(similarity="jaccard", threshold=0.8, num_workers=8,
+                     distribution="length", partitioning="load_aware",
+                     use_bundles=True)
+    report = DistributedStreamJoin(cfg).run(synthetic_tweet(20_000, seed=7))
+    print(report.method, report.throughput, report.messages_per_record)
+"""
+
+from repro.core.config import JoinConfig
+from repro.core.join import DistributedStreamJoin, JoinRunReport
+from repro.core.local_join import MatchResult, StreamingSetJoin
+from repro.core.reference import naive_join
+from repro.records import Record, pair_key
+from repro.similarity.functions import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    SimilarityFunction,
+    get_similarity,
+)
+from repro.streams.stream import RecordStream
+from repro.streams.window import SlidingWindow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cosine",
+    "Dice",
+    "DistributedStreamJoin",
+    "Jaccard",
+    "JoinConfig",
+    "JoinRunReport",
+    "MatchResult",
+    "Overlap",
+    "Record",
+    "RecordStream",
+    "SimilarityFunction",
+    "SlidingWindow",
+    "StreamingSetJoin",
+    "get_similarity",
+    "naive_join",
+    "pair_key",
+    "__version__",
+]

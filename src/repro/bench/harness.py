@@ -1,0 +1,114 @@
+"""Method suites and the experiment runner."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import JoinConfig
+from repro.core.join import DistributedStreamJoin, JoinRunReport
+from repro.storm.costmodel import CostModel, NetworkModel
+from repro.streams.stream import RecordStream
+
+
+def standard_configs(
+    num_workers: int = 8,
+    threshold: float = 0.8,
+    similarity: str = "jaccard",
+    window_seconds: float = math.inf,
+    include: Optional[Sequence[str]] = None,
+    **overrides,
+) -> Dict[str, JoinConfig]:
+    """The method suite every comparative experiment runs.
+
+    ===========  ======================================================
+    label        scheme
+    ===========  ======================================================
+    ``BRD``      broadcast probing (naive baseline)
+    ``PRE``      prefix-based distribution (offline-style baseline)
+    ``LEN-U``    length-based, uniform partitions
+    ``LEN``      length-based, load-aware partitions (paper, no bundles)
+    ``LEN+BUN``  full system: load-aware + bundles + batch verification
+    ===========  ======================================================
+
+    ``include`` restricts the suite; extra keyword arguments override
+    every config (e.g. ``collect_pairs=True`` in tests).
+    """
+    base = dict(
+        threshold=threshold,
+        similarity=similarity,
+        num_workers=num_workers,
+        window_seconds=window_seconds,
+        **overrides,
+    )
+    suite = {
+        "BRD": JoinConfig(distribution="broadcast", **base),
+        "PRE": JoinConfig(distribution="prefix", **base),
+        "LEN-U": JoinConfig(distribution="length", partitioning="uniform", **base),
+        "LEN": JoinConfig(distribution="length", partitioning="load_aware", **base),
+        "LEN+BUN": JoinConfig(
+            distribution="length",
+            partitioning="load_aware",
+            use_bundles=True,
+            bundle_threshold=max(0.9, threshold),
+            **base,
+        ),
+    }
+    if include is not None:
+        unknown = set(include) - set(suite)
+        if unknown:
+            raise ValueError(f"unknown method labels: {sorted(unknown)}")
+        suite = {label: suite[label] for label in include}
+    return suite
+
+
+def run_methods(
+    stream: RecordStream,
+    configs: Dict[str, JoinConfig],
+    cost: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+) -> Dict[str, JoinRunReport]:
+    """Run every config over the same stream; reports keyed by label."""
+    return {
+        label: DistributedStreamJoin(config, cost=cost, network=network).run(stream)
+        for label, config in configs.items()
+    }
+
+
+class ExperimentRunner:
+    """Convenience wrapper: one stream, many methods, tabular rows.
+
+    >>> from repro.datasets import synthetic_aol
+    >>> runner = ExperimentRunner(synthetic_aol(2000, seed=3))
+    >>> rows = runner.compare(standard_configs(num_workers=4))
+    >>> sorted(rows[0])[:2]
+    ['balance', 'bytes/rec']
+    """
+
+    def __init__(
+        self,
+        stream: RecordStream,
+        cost: Optional[CostModel] = None,
+        network: Optional[NetworkModel] = None,
+    ):
+        self.stream = stream
+        self.cost = cost
+        self.network = network
+        self.reports: Dict[str, JoinRunReport] = {}
+
+    def run(self, label: str, config: JoinConfig) -> JoinRunReport:
+        report = DistributedStreamJoin(
+            config, cost=self.cost, network=self.network
+        ).run(self.stream)
+        self.reports[label] = report
+        return report
+
+    def compare(self, configs: Dict[str, JoinConfig]) -> List[dict]:
+        """Run a suite and return one summary row per method."""
+        rows = []
+        for label, config in configs.items():
+            report = self.run(label, config)
+            row = report.summary()
+            row["method"] = label
+            rows.append(row)
+        return rows

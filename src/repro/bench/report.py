@@ -1,0 +1,55 @@
+"""Plain-text tables and series — the benches print what the paper plots."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Align a list of dict rows into a monospace table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {
+        column: max(len(str(column)), *(len(_cell(row.get(column))) for row in rows))
+        for column in columns
+    }
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    rule = "  ".join("-" * widths[c] for c in columns)
+    lines = [header, rule]
+    for row in rows:
+        lines.append(
+            "  ".join(_cell(row.get(column)).ljust(widths[column]) for column in columns)
+        )
+    body = "\n".join(lines)
+    return f"{title}\n{body}" if title else body
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Dict[str, Sequence[float]],
+    title: Optional[str] = None,
+    precision: int = 1,
+) -> str:
+    """One row per x value, one column per named series (figure data)."""
+    rows = []
+    for index, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = round(values[index], precision)
+        rows.append(row)
+    return format_table(rows, [x_label, *series], title=title)
+
+
+def _cell(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

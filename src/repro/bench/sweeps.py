@@ -1,0 +1,63 @@
+"""Parameter sweeps shared by the experiment files."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.bench.harness import run_methods, standard_configs
+from repro.core.join import JoinRunReport
+from repro.storm.costmodel import CostModel, NetworkModel
+from repro.streams.stream import RecordStream
+
+StreamBuilder = Callable[..., RecordStream]
+Extractor = Callable[[JoinRunReport], float]
+
+
+def sweep_thresholds(
+    stream: RecordStream,
+    thresholds: Sequence[float],
+    metric: Extractor = lambda report: report.throughput,
+    methods: Optional[Sequence[str]] = None,
+    num_workers: int = 8,
+    cost: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+    **config_overrides,
+) -> Dict[str, List[float]]:
+    """``metric`` per method per threshold (one figure's series)."""
+    series: Dict[str, List[float]] = {}
+    for threshold in thresholds:
+        configs = standard_configs(
+            num_workers=num_workers,
+            threshold=threshold,
+            include=methods,
+            **config_overrides,
+        )
+        reports = run_methods(stream, configs, cost=cost, network=network)
+        for label, report in reports.items():
+            series.setdefault(label, []).append(metric(report))
+    return series
+
+
+def sweep_workers(
+    stream: RecordStream,
+    worker_counts: Sequence[int],
+    metric: Extractor = lambda report: report.throughput,
+    methods: Optional[Sequence[str]] = None,
+    threshold: float = 0.8,
+    cost: Optional[CostModel] = None,
+    network: Optional[NetworkModel] = None,
+    **config_overrides,
+) -> Dict[str, List[float]]:
+    """``metric`` per method per worker count (the scalability figure)."""
+    series: Dict[str, List[float]] = {}
+    for workers in worker_counts:
+        configs = standard_configs(
+            num_workers=workers,
+            threshold=threshold,
+            include=methods,
+            **config_overrides,
+        )
+        reports = run_methods(stream, configs, cost=cost, network=network)
+        for label, report in reports.items():
+            series.setdefault(label, []).append(metric(report))
+    return series

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the workflows a downstream user needs:
+
+``join``
+    Run the distributed streaming join over a token file (one record
+    per line, whitespace-separated tokens); print the report and,
+    optionally, the similar pairs.
+``bench``
+    Compare the method suite (BRD/PRE/LEN-U/LEN/LEN+BUN) on a synthetic
+    corpus and print the standard table.
+``generate``
+    Write a synthetic corpus (AOL/TWEET/DBLP/ENRON-like) to a token
+    file for use with ``join``.
+``stats``
+    Print a token file's corpus statistics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from typing import List, Optional
+
+from repro.bench.harness import run_methods, standard_configs
+from repro.bench.report import format_table
+from repro.core.config import JoinConfig
+from repro.core.join import DistributedStreamJoin
+from repro.datasets.corpora import CORPUS_BUILDERS
+from repro.datasets.loader import load_token_file, save_token_file
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Distributed streaming set similarity join (ICDE 2020 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    join = commands.add_parser("join", help="join a token file")
+    join.add_argument("input", help="token file: one record per line")
+    join.add_argument("--similarity", default="jaccard",
+                      choices=["jaccard", "cosine", "dice", "overlap"])
+    join.add_argument("--threshold", type=float, default=0.8)
+    join.add_argument("--workers", type=int, default=8)
+    join.add_argument("--distribution", default="length",
+                      choices=["length", "prefix", "broadcast"])
+    join.add_argument("--partitioning", default="load_aware",
+                      choices=["load_aware", "uniform", "quantile"])
+    join.add_argument("--bundles", action="store_true")
+    join.add_argument("--window", type=float, default=math.inf,
+                      help="sliding window in seconds (default: unbounded)")
+    join.add_argument("--rate", type=float, default=1000.0,
+                      help="arrival rate, records/second")
+    join.add_argument("--dispatchers", type=int, default=1)
+    join.add_argument("--max-records", type=int, default=None)
+    join.add_argument("--pairs", action="store_true",
+                      help="print every similar pair")
+
+    bench = commands.add_parser("bench", help="compare methods on a synthetic corpus")
+    bench.add_argument("--corpus", default="TWEET", choices=sorted(CORPUS_BUILDERS))
+    bench.add_argument("--records", type=int, default=5000)
+    bench.add_argument("--threshold", type=float, default=0.8)
+    bench.add_argument("--workers", type=int, default=8)
+    bench.add_argument("--dispatchers", type=int, default=4)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--vocabulary", type=int, default=None)
+
+    generate = commands.add_parser("generate", help="write a synthetic corpus")
+    generate.add_argument("output", help="destination token file")
+    generate.add_argument("--corpus", default="TWEET", choices=sorted(CORPUS_BUILDERS))
+    generate.add_argument("--records", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--duplicate-rate", type=float, default=None)
+
+    stats = commands.add_parser("stats", help="describe a token file")
+    stats.add_argument("input")
+    stats.add_argument("--max-records", type=int, default=None)
+    return parser
+
+
+def _cmd_join(args) -> int:
+    stream, dictionary = load_token_file(
+        args.input, rate=args.rate, max_records=args.max_records
+    )
+    config = JoinConfig(
+        similarity=args.similarity,
+        threshold=args.threshold,
+        num_workers=args.workers,
+        distribution=args.distribution,
+        partitioning=args.partitioning,
+        use_bundles=args.bundles,
+        window_seconds=args.window,
+        dispatcher_parallelism=args.dispatchers,
+        collect_pairs=args.pairs,
+    )
+    report = DistributedStreamJoin(config).run(stream)
+    print(format_table([report.summary()]))
+    if args.pairs and report.pairs is not None:
+        for later, earlier, similarity in sorted(report.pairs, key=lambda p: -p[2]):
+            print(f"{similarity:.4f}\t{earlier}\t{later}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    builder = CORPUS_BUILDERS[args.corpus]
+    kwargs = {"seed": args.seed}
+    if args.vocabulary is not None:
+        kwargs["vocabulary_size"] = args.vocabulary
+    stream = builder(args.records, **kwargs)
+    configs = standard_configs(
+        num_workers=args.workers,
+        threshold=args.threshold,
+        dispatcher_parallelism=args.dispatchers,
+    )
+    reports = run_methods(stream, configs)
+    rows = []
+    for label, report in reports.items():
+        row = report.summary()
+        row["method"] = label
+        rows.append(row)
+    print(format_table(rows, title=f"{args.corpus} n={args.records} "
+                                   f"θ={args.threshold} k={args.workers}"))
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    builder = CORPUS_BUILDERS[args.corpus]
+    kwargs = {"seed": args.seed}
+    if args.duplicate_rate is not None:
+        kwargs["duplicate_rate"] = args.duplicate_rate
+    stream = builder(args.records, **kwargs)
+    count = save_token_file(args.output, stream)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    stream, dictionary = load_token_file(args.input, max_records=args.max_records)
+    print(format_table([stream.statistics().as_row()]))
+    return 0
+
+
+_COMMANDS = {
+    "join": _cmd_join,
+    "bench": _cmd_bench,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

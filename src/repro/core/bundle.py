@@ -1,0 +1,317 @@
+"""Bundle-based join: group similar records on the fly, index bundles.
+
+The paper's observation: the join results of the current record can
+guide index construction. When a record's own probe (which the length
+scheme performs at its home worker anyway) reveals a highly similar
+already-indexed partner, the record joins that partner's *bundle*
+instead of being indexed independently. A bundle is:
+
+* a **representative** — the token array of its founding record;
+* **members** — records stored as small diffs against the
+  representative (enabling batch verification, :mod:`repro.core.verify`);
+* **postings** — the union of the members' index-prefix tokens, each
+  posted once per bundle.
+
+Filtering cost drops because a token shared by many near-duplicates
+produces *one* bundle posting instead of one posting per record, so
+probes scan proportionally fewer entries. Candidate generation remains
+exact: every qualifying pair shares a token of the partner's index
+prefix, and that token is always among the partner's bundle's postings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.local_join import MatchResult
+from repro.core.metering import WorkMeter
+from repro.core.verify import (
+    batch_verify_members,
+    diff_against,
+    individually_verify_members,
+)
+from repro.records import Record
+from repro.similarity.functions import SimilarityFunction
+from repro.streams.window import SlidingWindow
+
+
+@dataclass(frozen=True)
+class BundleMember:
+    """One record stored as diffs against its bundle's representative."""
+
+    record: Record
+    dplus: Tuple[int, ...]
+    dminus: Tuple[int, ...]
+
+
+@dataclass
+class Bundle:
+    """A group of mutually similar records sharing index postings."""
+
+    bid: int
+    rep: Tuple[int, ...]
+    members: List[BundleMember] = field(default_factory=list)
+    posted: set = field(default_factory=set)
+    min_len: int = 0
+    max_len: int = 0
+    latest_timestamp: float = 0.0
+    #: Largest diff size (|Δ⁺| + |Δ⁻|) over members: bounds how far a
+    #: token's position can drift between members (position filter).
+    max_shift: int = 0
+
+    def add(self, member: BundleMember) -> None:
+        self.members.append(member)
+        size = member.record.size
+        if not self.min_len or size < self.min_len:
+            self.min_len = size
+        if size > self.max_len:
+            self.max_len = size
+        if member.record.timestamp > self.latest_timestamp:
+            self.latest_timestamp = member.record.timestamp
+        shift = len(member.dplus) + len(member.dminus)
+        if shift > self.max_shift:
+            self.max_shift = shift
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+
+class BundleIndex:
+    """A per-worker join engine that indexes bundles instead of records.
+
+    Drop-in alternative to
+    :class:`~repro.core.local_join.StreamingSetJoin` for the length
+    scheme's home worker: probe first, then feed the probe's own results
+    to :meth:`insert` so bundling costs almost nothing extra.
+
+    Parameters
+    ----------
+    bundle_threshold:
+        Minimum Jaccard similarity between a record and a bundle's
+        representative for the record to join the bundle (``β``; the
+        paper groups only *highly* similar records — default 0.9).
+    max_members:
+        Bundle capacity; bounds worst-case batch size.
+    batch_verification:
+        Use the diff-based batch verifier (True, the paper's method) or
+        the one-merge-per-member ablation arm (False).
+    """
+
+    def __init__(
+        self,
+        func: SimilarityFunction,
+        window: Optional[SlidingWindow] = None,
+        meter: Optional[WorkMeter] = None,
+        bundle_threshold: float = 0.9,
+        max_members: int = 64,
+        batch_verification: bool = True,
+    ):
+        if not 0.0 < bundle_threshold <= 1.0:
+            raise ValueError(
+                f"bundle_threshold must be in (0, 1], got {bundle_threshold}"
+            )
+        if bundle_threshold < func.threshold and func.name != "overlap":
+            raise ValueError(
+                "bundle_threshold must be >= the join threshold: bundle "
+                "assignment reuses the probe's own join results, which only "
+                f"surface partners with sim >= {func.threshold}"
+            )
+        if max_members < 1:
+            raise ValueError(f"max_members must be >= 1, got {max_members}")
+        self.func = func
+        self.window = window if window is not None else SlidingWindow()
+        self.meter = meter if meter is not None else WorkMeter()
+        self.bundle_threshold = bundle_threshold
+        self.max_members = max_members
+        self.batch_verification = batch_verification
+
+        self._bundles: Dict[int, Bundle] = {}
+        self._bundle_of: Dict[int, int] = {}  # rid -> bid
+        self._index: Dict[int, List[Tuple[int, int]]] = {}  # token -> [(bid, pos)]
+        self._next_bid = 0
+        self._live_postings = 0
+
+    # -- introspection ---------------------------------------------------------
+    @property
+    def live_postings(self) -> int:
+        return self._live_postings
+
+    @property
+    def num_bundles(self) -> int:
+        return len(self._bundles)
+
+    def bundle_sizes(self) -> List[int]:
+        return sorted(bundle.size for bundle in self._bundles.values())
+
+    # -- probe -----------------------------------------------------------------
+    def probe(self, record: Record) -> List[MatchResult]:
+        """All indexed, in-window partners with ``sim >= θ``."""
+        lr = record.size
+        if lr == 0:
+            return []
+        func = self.func
+        meter = self.meter
+        now = record.timestamp
+        lo, hi = func.length_bounds(lr)
+        width = func.probe_prefix_length(lr)
+        seen: set = set()
+        results: List[MatchResult] = []
+        if self.batch_verification:
+            def verify(record, bundle, func, window, meter, lo, hi):
+                return batch_verify_members(
+                    record, bundle, func, window, meter, lo, hi,
+                    bundle_threshold=self.bundle_threshold,
+                )
+        else:
+            verify = individually_verify_members
+
+        for i in range(width):
+            token = record.tokens[i]
+            meter.charge("index_lookup")
+            postings = self._index.get(token)
+            if not postings:
+                continue
+            alive: List[Tuple[int, int]] = []
+            for entry in postings:
+                bid, j0 = entry
+                meter.charge("posting_scan")
+                bundle = self._bundles.get(bid)
+                if bundle is None or self._bundle_dead(bundle, now):
+                    meter.charge("posting_expire")
+                    self._live_postings -= 1
+                    if bundle is not None:
+                        self._retire(bundle)
+                    continue
+                alive.append(entry)
+                if bid in seen:
+                    continue
+                seen.add(bid)
+                # Bundle-level length filter on the actual member range.
+                ls_lo = max(lo, bundle.min_len)
+                ls_hi = min(hi, bundle.max_len)
+                if ls_lo > ls_hi:
+                    continue
+                # Bundle-level position filter. ``j0`` is the token's
+                # position in the member that posted it; in any other
+                # member it sits within ``±2·max_shift`` (each diff
+                # token before it shifts it by one). The bound below is
+                # therefore valid for every member; for pure-duplicate
+                # bundles (max_shift 0) it is the exact record-level
+                # filter with first-match slack min(i, j).
+                drift = 2 * bundle.max_shift
+                required = func.min_overlap(lr, ls_lo)
+                upper = (
+                    min(i, j0 + drift)
+                    + 1
+                    + min(lr - i - 1, ls_hi - max(0, j0 - drift) - 1)
+                )
+                if upper < required:
+                    continue
+                meter.charge("candidate_admit")
+                meter.event("candidates")
+                results.extend(
+                    verify(record, bundle, func, self.window, meter, lo, hi)
+                )
+            if len(alive) != len(postings):
+                if alive:
+                    self._index[token] = alive
+                else:
+                    del self._index[token]
+        return results
+
+    # -- insert ---------------------------------------------------------------
+    def insert(
+        self, record: Record, probe_results: Optional[List[MatchResult]] = None
+    ) -> Bundle:
+        """Index a record, joining an existing bundle when possible.
+
+        ``probe_results`` are the record's own just-computed local join
+        results (the paper's join-feedback trick); the most similar
+        partner at or above ``bundle_threshold`` nominates its bundle.
+        Returns the bundle the record ended up in.
+        """
+        meter = self.meter
+        meter.charge("bundle_maintain")
+        bundle = self._choose_bundle(record, probe_results)
+        if bundle is not None:
+            dplus, dminus, overlap, comparisons = diff_against(
+                bundle.rep, record.tokens
+            )
+            meter.charge("token_compare", comparisons)
+            union = len(bundle.rep) + record.size - overlap
+            cohesion = overlap / union if union else 1.0
+            if cohesion >= self.bundle_threshold:
+                member = BundleMember(record, dplus, dminus)
+                bundle.add(member)
+                self._bundle_of[record.rid] = bundle.bid
+                self._post_prefix(record, bundle)
+                meter.event("bundle_joins")
+                return bundle
+        return self._found_bundle(record)
+
+    def probe_and_insert(self, record: Record) -> List[MatchResult]:
+        """The home worker's per-record step: probe, then bundle-insert."""
+        results = self.probe(record)
+        self.insert(record, results)
+        return results
+
+    # -- internals --------------------------------------------------------------
+    def _choose_bundle(
+        self, record: Record, probe_results: Optional[List[MatchResult]]
+    ) -> Optional[Bundle]:
+        if not probe_results:
+            return None
+        best: Optional[MatchResult] = None
+        for match in probe_results:
+            if match.similarity < self.bundle_threshold:
+                continue
+            if best is None or match.similarity > best.similarity:
+                best = match
+        if best is None:
+            return None
+        bid = self._bundle_of.get(best.partner.rid)
+        if bid is None:
+            return None
+        bundle = self._bundles.get(bid)
+        if bundle is None or bundle.size >= self.max_members:
+            return None
+        return bundle
+
+    def _found_bundle(self, record: Record) -> Bundle:
+        bundle = Bundle(bid=self._next_bid, rep=record.tokens)
+        self._next_bid += 1
+        bundle.add(BundleMember(record, (), ()))
+        self._bundles[bundle.bid] = bundle
+        self._bundle_of[record.rid] = bundle.bid
+        self._post_prefix(record, bundle)
+        self.meter.event("bundles_created")
+        return bundle
+
+    def _post_prefix(self, record: Record, bundle: Bundle) -> None:
+        width = self.func.index_prefix_length(record.size)
+        posted = 0
+        for position in range(width):
+            token = record.tokens[position]
+            if token in bundle.posted:
+                continue
+            bundle.posted.add(token)
+            self._index.setdefault(token, []).append((bundle.bid, position))
+            posted += 1
+        self._live_postings += posted
+        self.meter.charge("posting_insert", posted)
+        self.meter.event("postings_inserted", posted)
+
+    def _bundle_dead(self, bundle: Bundle, now: float) -> bool:
+        if not self.window.bounded:
+            return False
+        return now - bundle.latest_timestamp > self.window.seconds
+
+    def _retire(self, bundle: Bundle) -> None:
+        """Drop a fully expired bundle's bookkeeping (postings are
+        removed lazily by the scans that touch them)."""
+        if bundle.bid in self._bundles:
+            del self._bundles[bundle.bid]
+            for member in bundle.members:
+                self._bundle_of.pop(member.record.rid, None)

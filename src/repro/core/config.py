@@ -1,0 +1,134 @@
+"""Configuration of a distributed streaming join run."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional
+
+DISTRIBUTIONS = ("length", "prefix", "broadcast")
+PARTITIONINGS = ("load_aware", "uniform", "quantile")
+SIMILARITIES = ("jaccard", "cosine", "dice", "overlap")
+
+
+@dataclass(frozen=True)
+class JoinConfig:
+    """Everything that defines one join deployment.
+
+    Attributes
+    ----------
+    similarity / threshold:
+        Similarity function name and join threshold θ.
+    num_workers:
+        Parallelism of the join bolt (the paper's "processing units").
+    distribution:
+        Routing scheme: ``"length"`` (the paper), ``"prefix"`` (the
+        offline-style baseline) or ``"broadcast"`` (naive baseline).
+    partitioning:
+        Length-partition planner for the length scheme:
+        ``"load_aware"`` (the paper), ``"uniform"`` or ``"quantile"``.
+        Ignored by the other schemes.
+    use_bundles / bundle_threshold / bundle_max_members:
+        Bundle-based join (length scheme only). ``bundle_threshold`` is
+        the minimum record↔representative Jaccard (β ≥ θ).
+    batch_verification:
+        Diff-based batch verification of bundle members (True, the
+        paper) vs per-member merges (False, the ablation arm).
+    window_seconds:
+        Sliding-window duration; ``inf`` disables expiration.
+    sample_size:
+        Records sampled from the head of the stream to plan the length
+        partition and estimate vocabulary size.
+    collect_pairs:
+        Ship result pairs to the sink (tests, small runs) instead of
+        per-probe counts (benchmarks).
+    """
+
+    similarity: str = "jaccard"
+    threshold: float = 0.8
+    num_workers: int = 8
+    distribution: str = "length"
+    partitioning: str = "load_aware"
+    use_bundles: bool = False
+    bundle_threshold: float = 0.9
+    bundle_max_members: int = 64
+    batch_verification: bool = True
+    window_seconds: float = math.inf
+    sample_size: int = 5000
+    collect_pairs: bool = False
+    #: Parallel input dispatchers. Above 1, join bolts reorder work via
+    #: dispatcher watermarks (exactly-once is preserved; see
+    #: :class:`repro.core.bolts.JoinBolt`).
+    dispatcher_parallelism: int = 1
+    #: Records between two watermarks of one dispatcher (the
+    #: reordering latency/traffic trade-off).
+    watermark_interval: int = 16
+    #: Report only pairs whose records come from different sources —
+    #: the two-stream (R–S) cross join over a merged, source-tagged
+    #: stream (see :mod:`repro.core.two_stream`).
+    cross_source_only: bool = False
+
+    def __post_init__(self) -> None:
+        if self.similarity not in SIMILARITIES:
+            raise ValueError(
+                f"similarity must be one of {SIMILARITIES}, got {self.similarity!r}"
+            )
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"distribution must be one of {DISTRIBUTIONS}, "
+                f"got {self.distribution!r}"
+            )
+        if self.partitioning not in PARTITIONINGS:
+            raise ValueError(
+                f"partitioning must be one of {PARTITIONINGS}, "
+                f"got {self.partitioning!r}"
+            )
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {self.num_workers}")
+        if self.use_bundles and self.distribution != "length":
+            raise ValueError(
+                "bundles require the length distribution: bundle assignment "
+                "reuses the single home worker's probe results, which the "
+                f"{self.distribution!r} scheme does not have"
+            )
+        if self.window_seconds <= 0:
+            raise ValueError(
+                f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.sample_size < 1:
+            raise ValueError(f"sample_size must be >= 1, got {self.sample_size}")
+        if self.dispatcher_parallelism < 1:
+            raise ValueError(
+                f"dispatcher_parallelism must be >= 1, "
+                f"got {self.dispatcher_parallelism}"
+            )
+        if self.watermark_interval < 1:
+            raise ValueError(
+                f"watermark_interval must be >= 1, got {self.watermark_interval}"
+            )
+        if self.cross_source_only and self.use_bundles:
+            raise ValueError(
+                "cross_source_only is incompatible with bundles: the bundle "
+                "index verifies whole member batches and cannot apply a "
+                "per-pair source filter"
+            )
+
+    @property
+    def method_label(self) -> str:
+        """Short label used throughout the experiment tables."""
+        if self.distribution == "prefix":
+            return "PRE"
+        if self.distribution == "broadcast":
+            return "BRD"
+        label = "LEN" if self.partitioning == "load_aware" else (
+            "LEN-U" if self.partitioning == "uniform" else "LEN-Q"
+        )
+        if self.use_bundles:
+            label += "+BUN" if self.batch_verification else "+BUN/ind"
+        return label
+
+    def replace(self, **changes) -> "JoinConfig":
+        """A copy with some fields changed (dataclasses.replace sugar)."""
+        import dataclasses
+
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,69 @@
+"""Exactly-once output for the prefix-based distribution scheme.
+
+Under prefix routing a pair sharing several prefix tokens is discovered
+at the owner of each shared token. The classic remedy: the pair is
+*reported* only at the owner of its **minimal common prefix token** in
+the global order. Every worker can evaluate the rule locally, because
+prefix routing ships whole records: compute the first common token of
+the two prefixes (a short merge, charged to the meter) and check its
+ownership.
+
+The length-based scheme needs none of this — each record is indexed at
+exactly one worker — which is one of the paper's arguments for it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.metering import WorkMeter
+from repro.records import Record
+from repro.routing.prefix_router import token_owner
+from repro.similarity.functions import SimilarityFunction
+
+
+def min_common_prefix_token(
+    r: Record, s: Record, func: SimilarityFunction
+) -> Tuple[Optional[int], int]:
+    """First common token of the two records' prefixes, plus merge cost.
+
+    Returns ``(token, comparisons)``; ``token`` is ``None`` when the
+    prefixes share nothing (such a pair is never a candidate under
+    prefix routing, but the function stays total).
+    """
+    pr = func.probe_prefix_length(r.size)
+    ps = func.index_prefix_length(s.size)
+    i = j = comparisons = 0
+    while i < pr and j < ps:
+        comparisons += 1
+        a, b = r.tokens[i], s.tokens[j]
+        if a == b:
+            return a, comparisons
+        if a < b:
+            i += 1
+        else:
+            j += 1
+    return None, comparisons
+
+
+class PrefixDedupFilter:
+    """Pair filter: report only at the minimal common token's owner."""
+
+    def __init__(
+        self,
+        worker_index: int,
+        num_workers: int,
+        func: SimilarityFunction,
+        meter: WorkMeter,
+    ):
+        self.worker_index = worker_index
+        self.num_workers = num_workers
+        self.func = func
+        self.meter = meter
+
+    def __call__(self, r: Record, s: Record) -> bool:
+        token, comparisons = min_common_prefix_token(r, s, self.func)
+        self.meter.charge("token_compare", comparisons)
+        if token is None:
+            return False
+        return token_owner(token, self.num_workers) == self.worker_index

@@ -1,0 +1,55 @@
+"""Work metering: how the join engines report what they do.
+
+The engines (local join, bundle index, verification) are pure
+algorithms; they don't know whether they run standalone, in a test, or
+inside a simulated Storm bolt. They report work through a
+:class:`WorkMeter`, which always accumulates local counts and — when
+bound to a :class:`~repro.storm.components.TopologyContext` — forwards
+costed operations to the simulator's clock and uncosted events to the
+metrics counters.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional
+
+
+class WorkMeter:
+    """Accumulates operation counts; optionally drives a bolt context.
+
+    ``charge`` is for operations with a cost-model price (they consume
+    simulated time); ``event`` is for pure counters (candidates,
+    results, …) that the experiments report but that cost nothing by
+    themselves.
+    """
+
+    def __init__(self, ctx=None):
+        self._ctx = ctx
+        self.operations: Dict[str, float] = defaultdict(float)
+        self.events: Dict[str, float] = defaultdict(float)
+
+    def charge(self, operation: str, count: float = 1.0) -> None:
+        """Report ``count`` costed operations (e.g. ``posting_scan``)."""
+        self.operations[operation] += count
+        if self._ctx is not None:
+            self._ctx.charge(operation, count)
+
+    def event(self, name: str, count: float = 1.0) -> None:
+        """Report an uncosted counter (e.g. ``candidates``)."""
+        self.events[name] += count
+        if self._ctx is not None:
+            self._ctx.add_counter(name, count)
+
+    def operation(self, name: str) -> float:
+        return self.operations.get(name, 0.0)
+
+    def count(self, name: str) -> float:
+        return self.events.get(name, 0.0)
+
+    def snapshot(self) -> Dict[str, float]:
+        """All counts (operations and events) merged, for reports."""
+        merged = dict(self.operations)
+        for name, value in self.events.items():
+            merged[name] = merged.get(name, 0.0) + value
+        return merged

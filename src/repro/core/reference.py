@@ -1,0 +1,45 @@
+"""Brute-force reference join: the oracle every test compares against.
+
+Quadratic, no filtering beyond the window predicate — slow but
+obviously correct. Returns the exact pair → similarity mapping so
+equivalence tests can check both membership and values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.records import Record, pair_key
+from repro.similarity.functions import SimilarityFunction
+from repro.streams.window import SlidingWindow
+
+
+def naive_join(
+    records: Iterable[Record],
+    func: SimilarityFunction,
+    window: Optional[SlidingWindow] = None,
+) -> Dict[Tuple[int, int], float]:
+    """All qualifying pairs ``{(rid_lo, rid_hi): similarity}``.
+
+    A pair qualifies when ``sim >= θ`` and both records fall within the
+    window of each other. Empty records never join (a record with no
+    tokens has similarity 0 with everything, or an ill-defined 1.0 with
+    another empty record — the join engines skip them, and so does the
+    oracle).
+    """
+    window = window if window is not None else SlidingWindow()
+    ordered: List[Record] = sorted(records, key=lambda r: (r.timestamp, r.rid))
+    results: Dict[Tuple[int, int], float] = {}
+    for i, r in enumerate(ordered):
+        if r.size == 0:
+            continue
+        for j in range(i):
+            s = ordered[j]
+            if s.size == 0:
+                continue
+            if not window.qualifies(r, s):
+                continue
+            similarity = func.similarity(r.tokens, s.tokens)
+            if similarity >= func.threshold - 1e-12:
+                results[pair_key(r, s)] = similarity
+    return results

@@ -1,0 +1,33 @@
+"""Dataset substrate: synthetic corpora mimicking the evaluation data.
+
+The paper's experiments run on web-scale text corpora (query logs,
+publication titles, tweets, mail bodies). Those corpora are not
+redistributable, so this package generates synthetic equivalents that
+reproduce the three properties the join algorithms are sensitive to —
+record-length distribution, token-frequency skew, and near-duplicate
+density — with published-statistics defaults per corpus. See
+DESIGN.md §5 for the substitution argument.
+"""
+
+from repro.datasets.corpora import (
+    CORPUS_BUILDERS,
+    synthetic_aol,
+    synthetic_dblp,
+    synthetic_enron,
+    synthetic_tweet,
+)
+from repro.datasets.generators import CorpusSpec, ZipfVocabulary, generate_corpus
+from repro.datasets.loader import load_token_file, save_token_file
+
+__all__ = [
+    "CORPUS_BUILDERS",
+    "CorpusSpec",
+    "ZipfVocabulary",
+    "generate_corpus",
+    "load_token_file",
+    "save_token_file",
+    "synthetic_aol",
+    "synthetic_dblp",
+    "synthetic_enron",
+    "synthetic_tweet",
+]

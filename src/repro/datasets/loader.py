@@ -1,0 +1,69 @@
+"""Loading and saving corpora as plain token files.
+
+Format: one record per line, whitespace-separated raw tokens. Loading
+builds a frequency-ranked :class:`~repro.similarity.ordering.TokenDictionary`
+over the whole file (the global order prefix filtering needs) and
+returns canonical records — the same pipeline a user would run on the
+real AOL/DBLP/ENRON/TWEET dumps.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.similarity.ordering import TokenDictionary
+from repro.streams.arrival import ConstantRate
+from repro.streams.stream import RecordStream
+
+
+def load_token_file(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    rate: float = 1000.0,
+    max_records: Optional[int] = None,
+) -> Tuple[RecordStream, TokenDictionary]:
+    """Read a token file into a canonical stream plus its dictionary.
+
+    Blank lines are skipped. Records appear in file order; arrival
+    timestamps are assigned at ``rate`` records/second.
+    """
+    path = Path(path)
+    raw: List[List[str]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            tokens = line.split()
+            if not tokens:
+                continue
+            raw.append(tokens)
+            if max_records is not None and len(raw) >= max_records:
+                break
+    dictionary = TokenDictionary.from_corpus(raw)
+    corpus = [dictionary.canonicalize(tokens) for tokens in raw]
+    stream = RecordStream(
+        corpus, arrivals=ConstantRate(rate), name=name or path.stem
+    )
+    return stream, dictionary
+
+
+def save_token_file(
+    path: Union[str, Path],
+    stream: RecordStream,
+    dictionary: Optional[TokenDictionary] = None,
+) -> int:
+    """Write a stream to a token file; returns the number of records.
+
+    With a dictionary, raw tokens are written; without one, numeric
+    token ids are written (still loadable — ids become the raw tokens).
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for tokens in stream.corpus:
+            if dictionary is not None:
+                fields = [str(dictionary.token_of(token)) for token in tokens]
+            else:
+                fields = [str(token) for token in tokens]
+            handle.write(" ".join(fields) + "\n")
+            count += 1
+    return count

@@ -1,0 +1,16 @@
+"""Offline (batch) set similarity joins.
+
+The streaming algorithms in :mod:`repro.core` descend from the offline
+prefix-filter family (AllPairs / PPJoin). This subpackage provides the
+offline originals — both as a practical batch API and as the reference
+point for what the *streaming* setting costs: processing records in
+non-decreasing size order lets the offline join index the shorter
+"midprefix" (a record only meets partners at least as long as itself),
+an optimization the streaming engines must forgo because arrival order
+and length order are independent (see
+:mod:`repro.similarity.functions`).
+"""
+
+from repro.offline.allpairs import OfflineSetJoin, offline_rs_join, offline_self_join
+
+__all__ = ["OfflineSetJoin", "offline_rs_join", "offline_self_join"]

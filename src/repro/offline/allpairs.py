@@ -1,0 +1,174 @@
+"""Offline prefix-filter joins (AllPairs / PPJoin family).
+
+``offline_self_join`` sorts the collection by size, so every probing
+record meets only partners at most its own size. Two consequences the
+streaming engines cannot enjoy:
+
+* **midprefix indexing** — an indexed record ``s`` only needs its first
+  ``|s| − min_overlap(|s|, |s|) + 1`` tokens posted (its future probers
+  are at least as long, and ``min_overlap`` is minimal at equal sizes),
+  which is shorter than the streaming index prefix
+  ``|s| − min_overlap(|s|, lmin) + 1``;
+* **no expiration** — postings never die.
+
+``offline_rs_join`` joins two collections by streaming the union in
+size order with source tags, probing the opposite source's index.
+
+Both verify candidates with the shared early-terminating merge and
+charge a :class:`~repro.core.metering.WorkMeter`, so offline and
+streaming filtering effectiveness are directly comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.metering import WorkMeter
+from repro.similarity.functions import SimilarityFunction
+from repro.similarity.verification import verify_pair
+
+Pair = Tuple[int, int]
+
+
+class OfflineSetJoin:
+    """Size-ordered prefix-filter join over a static collection.
+
+    >>> from repro.similarity.functions import Jaccard
+    >>> join = OfflineSetJoin(Jaccard(0.5))
+    >>> sorted(join.self_join([(1, 2, 3), (2, 3, 4), (9,)]))
+    [(0, 1)]
+    """
+
+    def __init__(self, func: SimilarityFunction, meter: Optional[WorkMeter] = None):
+        self.func = func
+        self.meter = meter if meter is not None else WorkMeter()
+
+    # -- public ---------------------------------------------------------------
+    def self_join(
+        self, corpus: Sequence[Tuple[int, ...]]
+    ) -> Dict[Pair, float]:
+        """All pairs ``(i, j), i < j`` with ``sim >= θ``; exact."""
+        order = sorted(
+            (i for i, tokens in enumerate(corpus) if tokens),
+            key=lambda i: (len(corpus[i]), i),
+        )
+        index: Dict[int, List[Tuple[int, int]]] = {}
+        results: Dict[Pair, float] = {}
+        for i in order:
+            for partner, similarity in self._probe_index(corpus[i], corpus, index):
+                key = (partner, i) if partner < i else (i, partner)
+                results[key] = similarity
+            self._index_into(corpus[i], i, index, midprefix=True)
+        return results
+
+    def rs_join(
+        self,
+        left: Sequence[Tuple[int, ...]],
+        right: Sequence[Tuple[int, ...]],
+    ) -> Dict[Pair, float]:
+        """All cross pairs ``(i ∈ left, j ∈ right)`` with ``sim >= θ``.
+
+        Keys are ``(left_index, right_index)``.
+        """
+        tagged = [("L", i, tokens) for i, tokens in enumerate(left) if tokens]
+        tagged += [("R", j, tokens) for j, tokens in enumerate(right) if tokens]
+        tagged.sort(key=lambda item: (len(item[2]), item[0], item[1]))
+
+        indexes: Dict[str, Dict[int, List[Tuple[int, int]]]] = {"L": {}, "R": {}}
+        collections = {"L": left, "R": right}
+        results: Dict[Pair, float] = {}
+        for source, idx, tokens in tagged:
+            other = "R" if source == "L" else "L"
+            found = self._probe_index(
+                tokens, collections[other], indexes[other]
+            )
+            for partner, similarity in found:
+                key = (idx, partner) if source == "L" else (partner, idx)
+                results[key] = similarity
+            # Size-ordered processing guarantees probers are at least
+            # this record's size, so the midprefix stays valid for the
+            # cross join too.
+            self._index_into(tokens, idx, indexes[source], midprefix=True)
+        return results
+
+    # -- internals ---------------------------------------------------------------
+    def _probe_index(
+        self,
+        tokens: Tuple[int, ...],
+        collection,
+        index: Dict[int, List[Tuple[int, int]]],
+    ) -> List[Tuple[int, float]]:
+        func = self.func
+        meter = self.meter
+        lr = len(tokens)
+        lo, hi = func.length_bounds(lr)
+        width = func.probe_prefix_length(lr)
+        seen: set = set()
+        found: List[Tuple[int, float]] = []
+        for i in range(width):
+            token = tokens[i]
+            meter.charge("index_lookup")
+            postings = index.get(token)
+            if not postings:
+                continue
+            for partner, j in postings:
+                meter.charge("posting_scan")
+                partner_tokens = collection[partner]
+                ls = len(partner_tokens)
+                if ls < lo or ls > hi:
+                    continue
+                if partner in seen:
+                    continue
+                seen.add(partner)
+                required = func.min_overlap(lr, ls)
+                # Midprefix postings may start past the pair's first
+                # common token, so allow for earlier matches.
+                if min(i, j) + 1 + min(lr - i - 1, ls - j - 1) < required:
+                    continue
+                meter.charge("candidate_admit")
+                meter.event("candidates")
+                overlap, comparisons = verify_pair(tokens, partner_tokens, required)
+                meter.charge("token_compare", comparisons)
+                meter.event("verifications")
+                if overlap >= required:
+                    meter.event("results")
+                    found.append(
+                        (partner, func.similarity_from_overlap(lr, ls, overlap))
+                    )
+        return found
+
+    def _index_into(
+        self,
+        tokens: Tuple[int, ...],
+        record_id: int,
+        index: Dict[int, List[Tuple[int, int]]],
+        midprefix: bool,
+    ) -> None:
+        size = len(tokens)
+        if midprefix:
+            width = max(0, min(size, size - self.func.min_overlap(size, size) + 1))
+        else:
+            width = self.func.index_prefix_length(size)
+        for position in range(width):
+            index.setdefault(tokens[position], []).append((record_id, position))
+        self.meter.charge("posting_insert", width)
+        self.meter.event("postings_inserted", width)
+
+
+def offline_self_join(
+    corpus: Sequence[Tuple[int, ...]],
+    func: SimilarityFunction,
+    meter: Optional[WorkMeter] = None,
+) -> Dict[Pair, float]:
+    """Functional wrapper over :meth:`OfflineSetJoin.self_join`."""
+    return OfflineSetJoin(func, meter).self_join(corpus)
+
+
+def offline_rs_join(
+    left: Sequence[Tuple[int, ...]],
+    right: Sequence[Tuple[int, ...]],
+    func: SimilarityFunction,
+    meter: Optional[WorkMeter] = None,
+) -> Dict[Pair, float]:
+    """Functional wrapper over :meth:`OfflineSetJoin.rs_join`."""
+    return OfflineSetJoin(func, meter).rs_join(left, right)

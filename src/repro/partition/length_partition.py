@@ -1,0 +1,267 @@
+"""Length partition plans and the algorithms that produce them.
+
+Three planners, in ascending sophistication (E5/E6 compare them):
+
+* :func:`uniform_partition` — equal-width length ranges. The strawman:
+  skewed corpora concentrate almost all records in a few ranges.
+* :func:`quantile_partition` — equal *record counts* per range. Better,
+  but join cost is quadratic-ish in local density, and probe fan-in
+  ignores it entirely.
+* :func:`load_aware_partition` — the paper's method: minimize the
+  maximum estimated per-worker join cost (index + probe fan-in +
+  candidate generation) via binary search on the cost budget with a
+  greedy feasibility check, exploiting that the cost of a range is
+  monotone in its right endpoint. :func:`optimal_partition_dp` is the
+  exact dynamic program used by the tests to certify optimality of the
+  binary-search result on small domains.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.partition.cost import JoinCostEstimator
+from repro.partition.stats import LengthHistogram
+
+#: Relative tolerance of the budget binary search.
+_BUDGET_TOLERANCE = 1e-6
+
+
+@dataclass(frozen=True)
+class LengthPartition:
+    """A contiguous partition of the record-length domain.
+
+    ``ranges[i] = (lo, hi)`` is the inclusive length range owned by
+    worker ``i``. Ranges are contiguous, disjoint and ascending; they
+    cover ``[ranges[0][0], ranges[-1][1]]``. Lengths outside that span
+    clamp to the first/last worker, so every possible record has an
+    owner.
+    """
+
+    ranges: Tuple[Tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        if not self.ranges:
+            raise ValueError("partition needs at least one range")
+        previous_hi: Optional[int] = None
+        for lo, hi in self.ranges:
+            if lo > hi:
+                raise ValueError(f"empty range ({lo}, {hi}) in partition")
+            if previous_hi is not None and lo != previous_hi + 1:
+                raise ValueError(
+                    f"ranges must be contiguous; got gap/overlap at ({lo}, {hi})"
+                )
+            previous_hi = hi
+        # Precompute the upper bounds for owner lookups.
+        object.__setattr__(self, "_uppers", [hi for _, hi in self.ranges])
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.ranges)
+
+    def owner_of(self, length: int) -> int:
+        """Worker owning records of ``length`` (clamped at the edges)."""
+        index = bisect_left(self._uppers, length)  # type: ignore[attr-defined]
+        return min(index, len(self.ranges) - 1)
+
+    def owners_of_range(self, lo: int, hi: int) -> Tuple[int, ...]:
+        """Workers whose ranges intersect ``[lo, hi]`` (ascending)."""
+        if hi < lo:
+            return ()
+        first = self.owner_of(lo)
+        last = self.owner_of(hi)
+        return tuple(range(first, last + 1))
+
+    def describe(self) -> str:
+        parts = ", ".join(f"w{i}:[{lo},{hi}]" for i, (lo, hi) in enumerate(self.ranges))
+        return f"LengthPartition({parts})"
+
+
+def uniform_partition(min_length: int, max_length: int, k: int) -> LengthPartition:
+    """Split ``[min_length, max_length]`` into ``k`` equal-width ranges.
+
+    If the domain has fewer than ``k`` lengths, fewer ranges are
+    returned (workers beyond them would own nothing).
+    """
+    _check_domain(min_length, max_length, k)
+    span = max_length - min_length + 1
+    k = min(k, span)
+    ranges: List[Tuple[int, int]] = []
+    for i in range(k):
+        lo = min_length + (span * i) // k
+        hi = min_length + (span * (i + 1)) // k - 1
+        ranges.append((lo, hi))
+    return LengthPartition(tuple(ranges))
+
+
+def quantile_partition(histogram: LengthHistogram, k: int) -> LengthPartition:
+    """Ranges holding (approximately) equal numbers of records."""
+    _check_domain(histogram.min_length, histogram.max_length, k)
+    lengths = histogram.lengths()
+    total = histogram.total
+    ranges: List[Tuple[int, int]] = []
+    start = histogram.min_length
+    consumed = 0
+    remaining_parts = k
+    running = 0
+    for length in lengths:
+        running += histogram.count(length)
+        target = (total - consumed) / remaining_parts
+        if running >= target and remaining_parts > 1 and length < histogram.max_length:
+            ranges.append((start, length))
+            start = length + 1
+            consumed += running
+            running = 0
+            remaining_parts -= 1
+    ranges.append((start, histogram.max_length))
+    return LengthPartition(tuple(ranges))
+
+
+def load_aware_partition(
+    estimator: JoinCostEstimator, k: int
+) -> LengthPartition:
+    """Minimize the maximum per-worker estimated join cost.
+
+    Binary-searches the smallest budget ``B`` for which a greedy
+    left-to-right packing covers the domain with at most ``k`` ranges
+    (valid because ``cost(a, ·)`` is non-decreasing), then splits the
+    most expensive ranges until exactly ``min(k, domain)`` ranges exist
+    so no worker idles.
+    """
+    top = estimator.max_length
+    _check_domain(1, top, k)
+    k = min(k, top)
+
+    low = max(estimator.cost(length, length) for length in range(1, top + 1))
+    high = estimator.total_cost()
+    if low <= 0:
+        low = min(high, 1e-12)
+
+    def pack(budget: float) -> Optional[List[Tuple[int, int]]]:
+        ranges: List[Tuple[int, int]] = []
+        start = 1
+        while start <= top:
+            if len(ranges) == k:
+                return None
+            end = _largest_end(estimator, start, budget, top)
+            if end is None:
+                return None
+            ranges.append((start, end))
+            start = end + 1
+        return ranges
+
+    best = pack(high)
+    assert best is not None, "the full domain must fit the total-cost budget"
+    while high - low > _BUDGET_TOLERANCE * max(high, 1.0):
+        mid = (low + high) / 2.0
+        attempt = pack(mid)
+        if attempt is None:
+            low = mid
+        else:
+            best, high = attempt, mid
+
+    ranges = _split_to_k(estimator, best, k)
+    return LengthPartition(tuple(ranges))
+
+
+def optimal_partition_dp(estimator: JoinCostEstimator, k: int) -> float:
+    """Exact minimal max-cost via dynamic programming (test oracle).
+
+    ``O(k · L²)`` cost queries — use on small domains only. Returns the
+    optimal bottleneck cost (not the partition) for comparison with
+    :func:`load_aware_partition`.
+    """
+    top = estimator.max_length
+    _check_domain(1, top, k)
+    k = min(k, top)
+    infinity = float("inf")
+    # best[j][b] = minimal max cost covering lengths 1..b with j ranges.
+    previous = [infinity] * (top + 1)
+    for b in range(1, top + 1):
+        previous[b] = estimator.cost(1, b)
+    for _ in range(2, k + 1):
+        current = [infinity] * (top + 1)
+        for b in range(1, top + 1):
+            best = previous[b]  # unused extra range is never worse
+            for m in range(1, b):
+                candidate = max(previous[m], estimator.cost(m + 1, b))
+                if candidate < best:
+                    best = candidate
+            current[b] = best
+        previous = current
+    return previous[top]
+
+
+# -- helpers ------------------------------------------------------------------
+def _check_domain(min_length: int, max_length: int, k: int) -> None:
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if max_length < min_length or min_length < 1:
+        raise ValueError(
+            f"invalid length domain [{min_length}, {max_length}]"
+        )
+
+
+def _largest_end(
+    estimator: JoinCostEstimator, start: int, budget: float, top: int
+) -> Optional[int]:
+    """Largest ``end`` with ``cost(start, end) <= budget`` (monotone)."""
+    if estimator.cost(start, start) > budget:
+        return None
+    lo, hi = start, top
+    while lo < hi:
+        mid = (lo + hi + 1) // 2
+        if estimator.cost(start, mid) <= budget:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
+
+
+def _split_to_k(
+    estimator: JoinCostEstimator, ranges: List[Tuple[int, int]], k: int
+) -> List[Tuple[int, int]]:
+    """Split the costliest multi-length ranges until ``k`` ranges exist.
+
+    Splitting a range never increases the bottleneck (each half costs at
+    most the whole), so this only improves balance while guaranteeing
+    every worker owns a range.
+    """
+    ranges = list(ranges)
+    while len(ranges) < k:
+        candidates = [
+            (estimator.cost(lo, hi), i)
+            for i, (lo, hi) in enumerate(ranges)
+            if hi > lo
+        ]
+        if not candidates:
+            break
+        _, index = max(candidates)
+        lo, hi = ranges[index]
+        split = _best_split(estimator, lo, hi)
+        ranges[index : index + 1] = [(lo, split), (split + 1, hi)]
+    return ranges
+
+
+def _best_split(estimator: JoinCostEstimator, lo: int, hi: int) -> int:
+    """Internal split point minimizing max(cost(lo, m), cost(m+1, hi)).
+
+    ``cost(lo, m)`` is non-decreasing and ``cost(m+1, hi)`` is
+    non-increasing in ``m``, so the minimum sits at their crossover.
+    """
+    best_m, best_value = lo, float("inf")
+    left, right = lo, hi - 1
+    while left <= right:
+        mid = (left + right) // 2
+        head = estimator.cost(lo, mid)
+        tail = estimator.cost(mid + 1, hi)
+        value = max(head, tail)
+        if value < best_value:
+            best_value, best_m = value, mid
+        if head < tail:
+            left = mid + 1
+        else:
+            right = mid - 1
+    return best_m

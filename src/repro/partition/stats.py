@@ -1,0 +1,105 @@
+"""Record-length statistics feeding the partition planner.
+
+The planner only needs the distribution of record lengths (and a rough
+vocabulary size for candidate-selectivity estimates); both are cheap to
+collect from a warm-up sample of the stream, which is how the harness
+uses this class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+class LengthHistogram:
+    """Counts of records per length, with prefix-sum queries.
+
+    >>> h = LengthHistogram.from_lengths([3, 3, 5, 8])
+    >>> h.count(3), h.total, h.min_length, h.max_length
+    (2, 4, 3, 8)
+    >>> h.count_range(3, 5)
+    3
+    """
+
+    def __init__(self) -> None:
+        self._counts: Dict[int, int] = {}
+        self._prefix: List[int] = []
+        self._dirty = True
+
+    # -- construction -------------------------------------------------------
+    def observe(self, length: int, count: int = 1) -> None:
+        """Record ``count`` records of the given length."""
+        if length < 1:
+            raise ValueError(f"record length must be >= 1, got {length}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        self._counts[length] = self._counts.get(length, 0) + count
+        self._dirty = True
+
+    @classmethod
+    def from_lengths(cls, lengths: Iterable[int]) -> "LengthHistogram":
+        histogram = cls()
+        for length in lengths:
+            histogram.observe(length)
+        return histogram
+
+    @classmethod
+    def from_corpus(cls, corpus: Iterable[Sequence[int]]) -> "LengthHistogram":
+        return cls.from_lengths(len(record) for record in corpus)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def total(self) -> int:
+        """Total records observed."""
+        return sum(self._counts.values())
+
+    @property
+    def min_length(self) -> int:
+        return min(self._counts) if self._counts else 0
+
+    @property
+    def max_length(self) -> int:
+        return max(self._counts) if self._counts else 0
+
+    def count(self, length: int) -> int:
+        return self._counts.get(length, 0)
+
+    def lengths(self) -> List[int]:
+        """Observed lengths, ascending."""
+        return sorted(self._counts)
+
+    def count_range(self, lo: int, hi: int) -> int:
+        """Number of records with length in ``[lo, hi]`` (inclusive)."""
+        if hi < lo:
+            return 0
+        self._ensure_prefix()
+        return self._prefix_at(hi) - self._prefix_at(lo - 1)
+
+    def as_dense(self) -> List[int]:
+        """Counts for lengths ``1..max_length`` as a dense list
+        (index 0 = length 1)."""
+        top = self.max_length
+        return [self._counts.get(length, 0) for length in range(1, top + 1)]
+
+    # -- internals ----------------------------------------------------------
+    def _ensure_prefix(self) -> None:
+        if not self._dirty:
+            return
+        top = self.max_length
+        self._prefix = [0] * (top + 1)
+        running = 0
+        for length in range(1, top + 1):
+            running += self._counts.get(length, 0)
+            self._prefix[length] = running
+        self._dirty = False
+
+    def _prefix_at(self, length: int) -> int:
+        if length <= 0 or not self._prefix:
+            return 0
+        return self._prefix[min(length, len(self._prefix) - 1)]
+
+    def __repr__(self) -> str:
+        return (
+            f"LengthHistogram(total={self.total}, "
+            f"range=[{self.min_length}, {self.max_length}])"
+        )

@@ -1,0 +1,36 @@
+"""Distribution schemes: who indexes and who probes each record.
+
+The central design question of the paper: when a record arrives, which
+join workers must (a) add it to their index and (b) probe their index
+with it? Three schemes are implemented:
+
+* :class:`~repro.routing.length_router.LengthRouter` — the paper's
+  length-based framework: one index copy (the worker owning the
+  record's length), probes to the workers whose length ranges intersect
+  the admissible partner interval. No replication.
+* :class:`~repro.routing.prefix_router.PrefixRouter` — the prefix-based
+  scheme ported from offline distributed joins: the record is shipped to
+  the owner of *each of its prefix tokens*, replicating both the index
+  and the probe work.
+* :class:`~repro.routing.broadcast_router.BroadcastRouter` — the naive
+  baseline: single-home index, probe broadcast to every worker.
+
+All three are *complete and non-duplicating*: every qualifying pair in
+the window is discovered exactly once (prefix routing needs the
+minimal-common-token rule, enforced by the join bolt; see
+:mod:`repro.core.dedup`).
+"""
+
+from repro.routing.base import Router, RoutingDecision
+from repro.routing.broadcast_router import BroadcastRouter
+from repro.routing.length_router import LengthRouter
+from repro.routing.prefix_router import PrefixRouter, token_owner
+
+__all__ = [
+    "BroadcastRouter",
+    "LengthRouter",
+    "PrefixRouter",
+    "Router",
+    "RoutingDecision",
+    "token_owner",
+]

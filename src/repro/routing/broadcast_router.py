@@ -1,0 +1,26 @@
+"""Broadcast distribution: the naive completeness-by-force baseline.
+
+Each record is indexed at a single home worker (hash of its id, so the
+index is perfectly sharded) and its probe is broadcast to *every*
+worker. Trivially complete and duplicate-free — the price is ``k``
+messages per record and probe work on every worker regardless of
+whether it can possibly hold a partner.
+"""
+
+from __future__ import annotations
+
+from repro.records import Record
+from repro.routing.base import Router, RoutingDecision
+
+
+class BroadcastRouter(Router):
+    """Single-home index, all-workers probe."""
+
+    name = "broadcast"
+
+    def route(self, record: Record) -> RoutingDecision:
+        home = record.rid % self.num_workers
+        return RoutingDecision(
+            index_tasks=(home,),
+            probe_tasks=tuple(range(self.num_workers)),
+        )

@@ -1,0 +1,117 @@
+"""Global token ordering: the dictionary that canonicalizes records.
+
+Prefix filtering requires every record's tokens to be sorted by one
+*fixed global total order*. Correctness holds for any consistent order;
+*effectiveness* is best when rare tokens sort first, because then the
+short prefixes carry the most selective tokens (classic document-
+frequency-ascending ordering).
+
+:class:`TokenDictionary` supports both regimes:
+
+* **dynamic** — tokens get ids on first encounter (insertion order).
+  Always consistent, hence always correct; used when no corpus pass is
+  possible.
+* **frequency-ranked** — after observing a corpus (or a warm-up sample),
+  :meth:`rank_by_frequency` reassigns ids so ascending id order equals
+  ascending frequency (ties broken by the token itself for determinism).
+  Tokens first seen *after* ranking receive fresh ids above all ranked
+  ids; they sort last, i.e. they are treated as frequent. That choice
+  only affects pruning power, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+
+class TokenDictionary:
+    """Bidirectional token ↔ id mapping defining the global token order.
+
+    Examples
+    --------
+    >>> d = TokenDictionary()
+    >>> d.canonicalize(["news", "data", "news", "join"])  # set semantics
+    (0, 1, 2)
+    >>> d.token_of(0)
+    'news'
+    """
+
+    def __init__(self) -> None:
+        self._id_of: Dict[Hashable, int] = {}
+        self._token_of: List[Hashable] = []
+        self._frequency: Counter = Counter()
+        self._ranked = False
+
+    # -- core mapping ------------------------------------------------------
+    def id_of(self, token: Hashable) -> int:
+        """Id of ``token``, assigning a fresh one on first encounter."""
+        existing = self._id_of.get(token)
+        if existing is not None:
+            return existing
+        new_id = len(self._token_of)
+        self._id_of[token] = new_id
+        self._token_of.append(token)
+        return new_id
+
+    def token_of(self, token_id: int) -> Hashable:
+        """Inverse lookup; raises ``IndexError`` for unknown ids."""
+        return self._token_of[token_id]
+
+    def __len__(self) -> int:
+        return len(self._token_of)
+
+    def __contains__(self, token: Hashable) -> bool:
+        return token in self._id_of
+
+    @property
+    def is_ranked(self) -> bool:
+        """Whether ids currently reflect ascending global frequency."""
+        return self._ranked
+
+    # -- canonical records ---------------------------------------------------
+    def canonicalize(self, tokens: Iterable[Hashable]) -> Tuple[int, ...]:
+        """Map raw tokens to a sorted, duplicate-free id tuple.
+
+        Duplicates are dropped (set semantics — the paper's model). Use
+        :func:`repro.similarity.tokenizers.multiset` upstream if bag
+        semantics are needed.
+        """
+        ids = {self.id_of(token) for token in tokens}
+        return tuple(sorted(ids))
+
+    def decode(self, record: Iterable[int]) -> List[Hashable]:
+        """Map a canonical id tuple back to raw tokens."""
+        return [self._token_of[token_id] for token_id in record]
+
+    # -- frequency ranking -----------------------------------------------
+    def observe(self, tokens: Iterable[Hashable]) -> None:
+        """Accumulate frequency statistics from one raw record."""
+        self._frequency.update(set(tokens))
+
+    def rank_by_frequency(self) -> None:
+        """Reassign ids so ascending id = ascending observed frequency.
+
+        Invalidates any canonical records produced before the call;
+        callers (the bench harness, the dataset builders) rank once,
+        before canonicalizing anything.
+        """
+        ordered = sorted(
+            self._id_of,
+            key=lambda token: (self._frequency.get(token, 0), repr(token)),
+        )
+        self._id_of = {token: rank for rank, token in enumerate(ordered)}
+        self._token_of = ordered
+        self._ranked = True
+
+    @classmethod
+    def from_corpus(cls, corpus: Iterable[Iterable[Hashable]]) -> "TokenDictionary":
+        """Build a frequency-ranked dictionary from raw token records."""
+        dictionary = cls()
+        materialized = [list(record) for record in corpus]
+        for record in materialized:
+            dictionary.observe(record)
+            for token in record:
+                dictionary.id_of(token)
+        dictionary.rank_by_frequency()
+        return dictionary

@@ -1,0 +1,87 @@
+"""Tokenizers turning raw text into token sequences.
+
+Two families cover the workloads in the paper's domain:
+
+* :class:`WordTokenizer` — whitespace/word tokens (queries, titles,
+  tweets, mail bodies).
+* :class:`QGramTokenizer` — character q-grams (short strings where word
+  boundaries carry little signal).
+
+Tokenizers return *lists* (order and duplicates preserved);
+:meth:`repro.similarity.ordering.TokenDictionary.canonicalize` applies
+set semantics afterwards. :func:`multiset` converts duplicate-bearing
+token lists into set-compatible tokens by suffixing occurrence numbers,
+the standard reduction of multiset similarity to set similarity.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from typing import Hashable, List, Sequence, Tuple
+
+_WORD_RE = re.compile(r"[a-z0-9]+", re.IGNORECASE)
+
+
+class WordTokenizer:
+    """Split text into lowercase alphanumeric word tokens.
+
+    >>> WordTokenizer()("Storm: a STREAM engine!")
+    ['storm', 'a', 'stream', 'engine']
+    """
+
+    def __init__(self, lowercase: bool = True, min_length: int = 1):
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        self.lowercase = lowercase
+        self.min_length = min_length
+
+    def __call__(self, text: str) -> List[str]:
+        if self.lowercase:
+            text = text.lower()
+        return [t for t in _WORD_RE.findall(text) if len(t) >= self.min_length]
+
+
+class QGramTokenizer:
+    """Character q-grams, optionally padded at both ends.
+
+    >>> QGramTokenizer(q=2, pad=False)("abc")
+    ['ab', 'bc']
+    >>> QGramTokenizer(q=2, pad=True, pad_char="#")("ab")
+    ['#a', 'ab', 'b#']
+    """
+
+    def __init__(self, q: int = 3, pad: bool = True, pad_char: str = "\x00"):
+        if q < 1:
+            raise ValueError(f"q must be >= 1, got {q}")
+        if len(pad_char) != 1:
+            raise ValueError("pad_char must be a single character")
+        self.q = q
+        self.pad = pad
+        self.pad_char = pad_char
+
+    def __call__(self, text: str) -> List[str]:
+        if self.pad and self.q > 1:
+            padding = self.pad_char * (self.q - 1)
+            text = f"{padding}{text}{padding}"
+        if len(text) < self.q:
+            return [text] if text else []
+        return [text[i : i + self.q] for i in range(len(text) - self.q + 1)]
+
+
+def multiset(tokens: Sequence[Hashable]) -> List[Tuple[Hashable, int]]:
+    """Disambiguate duplicates so set similarity models bag similarity.
+
+    The *i*-th occurrence of token ``t`` becomes the pair ``(t, i)``; two
+    bags then share ``min(count_r(t), count_s(t))`` copies of ``t`` —
+    exactly the multiset intersection.
+
+    >>> multiset(["a", "b", "a"])
+    [('a', 0), ('b', 0), ('a', 1)]
+    """
+    seen: Counter = Counter()
+    result: List[Tuple[Hashable, int]] = []
+    for token in tokens:
+        result.append((token, seen[token]))
+        seen[token] += 1
+    return result

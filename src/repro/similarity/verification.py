@@ -1,0 +1,73 @@
+"""Verification primitives: exact overlap with early termination.
+
+Verification dominates join cost once filtering is effective, so the
+paper's batch-verification contribution (see
+:mod:`repro.core.verify`) is all about sharing this work. The
+primitives here therefore report *how much work they did* — the number
+of token comparisons performed — so that the cost model of the Storm
+simulator and experiment E8 can account for it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def overlap_count(r: Sequence[int], s: Sequence[int]) -> int:
+    """Exact intersection size of two canonical (sorted) token arrays."""
+    i = j = o = 0
+    lr, ls = len(r), len(s)
+    while i < lr and j < ls:
+        if r[i] == s[j]:
+            o += 1
+            i += 1
+            j += 1
+        elif r[i] < s[j]:
+            i += 1
+        else:
+            j += 1
+    return o
+
+
+def verify_pair(
+    r: Sequence[int],
+    s: Sequence[int],
+    required: int,
+    start_r: int = 0,
+    start_s: int = 0,
+    known: int = 0,
+) -> Tuple[int, int]:
+    """Merge-verify whether ``|r ∩ s| >= required``, stopping early.
+
+    Scans the suffixes ``r[start_r:]`` and ``s[start_s:]`` assuming
+    ``known`` matches were already established before those positions
+    (the prefix-overlap accumulated during candidate generation). After
+    every step the remaining upper bound is checked; the scan aborts as
+    soon as ``required`` is unreachable.
+
+    Returns
+    -------
+    (overlap, comparisons):
+        ``overlap`` is the exact intersection size if it is
+        ``>= required``, otherwise ``-1`` (early-terminated scans do not
+        produce an exact count). ``comparisons`` is the number of token
+        comparison steps executed — the cost-model currency.
+    """
+    i, j, o = start_r, start_s, known
+    lr, ls = len(r), len(s)
+    comparisons = 0
+    while i < lr and j < ls:
+        # Remaining potential: matches so far + everything left in the
+        # shorter remainder.
+        if o + min(lr - i, ls - j) < required:
+            return -1, comparisons
+        comparisons += 1
+        if r[i] == s[j]:
+            o += 1
+            i += 1
+            j += 1
+        elif r[i] < s[j]:
+            i += 1
+        else:
+            j += 1
+    return (o, comparisons) if o >= required else (-1, comparisons)

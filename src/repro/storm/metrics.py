@@ -1,0 +1,243 @@
+"""Metrics: per-task counters, latency quantiles and cluster reports.
+
+Every number the paper's evaluation plots comes out of this module:
+throughput (capacity and achieved), communication cost (messages and
+bytes), load balance (max/avg busy time across the join tasks), latency
+quantiles, and the algorithmic counters (candidates, verifications,
+results) behind the ablation experiments.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+class LatencySampler:
+    """Bounded reservoir of latency samples with exact quantiles.
+
+    Keeps up to ``capacity`` samples via systematic sampling (every
+    *k*-th observation once full), which is deterministic — a property
+    the whole simulator guarantees.
+    """
+
+    def __init__(self, capacity: int = 20000):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._samples: List[float] = []
+        self._seen = 0
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        self._seen += 1
+        if self._seen % self._stride:
+            return
+        self._samples.append(value)
+        if len(self._samples) >= self.capacity:
+            # Thin by half and double the stride.
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def count(self) -> int:
+        """Number of observations (not samples) seen."""
+        return self._seen
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the sampled distribution (0 if empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
+
+    def mean(self) -> float:
+        return sum(self._samples) / len(self._samples) if self._samples else 0.0
+
+
+@dataclass
+class TaskMetrics:
+    """Counters for one task (one executor) of one component."""
+
+    component: str
+    task_index: int
+    tuples_in: int = 0
+    tuples_out: int = 0
+    work_units: float = 0.0
+    busy_seconds: float = 0.0
+    peak_queue: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    def add_counter(self, name: str, amount: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + amount
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+
+@dataclass
+class ChannelMetrics:
+    """Message/byte accounting for one (source component → dest component) edge."""
+
+    source: str
+    destination: str
+    messages: int = 0
+    bytes: int = 0
+
+
+class MetricsRegistry:
+    """All metrics of one cluster run, keyed by task and channel."""
+
+    def __init__(self) -> None:
+        self._tasks: Dict[Tuple[str, int], TaskMetrics] = {}
+        self._channels: Dict[Tuple[str, str], ChannelMetrics] = {}
+        self.latency = LatencySampler()
+
+    def task(self, component: str, task_index: int) -> TaskMetrics:
+        key = (component, task_index)
+        if key not in self._tasks:
+            self._tasks[key] = TaskMetrics(component, task_index)
+        return self._tasks[key]
+
+    def channel(self, source: str, destination: str) -> ChannelMetrics:
+        key = (source, destination)
+        if key not in self._channels:
+            self._channels[key] = ChannelMetrics(source, destination)
+        return self._channels[key]
+
+    def tasks_of(self, component: str) -> List[TaskMetrics]:
+        return [m for (c, _), m in sorted(self._tasks.items()) if c == component]
+
+    def all_tasks(self) -> List[TaskMetrics]:
+        return [m for _, m in sorted(self._tasks.items())]
+
+    def all_channels(self) -> List[ChannelMetrics]:
+        return [m for _, m in sorted(self._channels.items())]
+
+    def total_counter(self, name: str, component: Optional[str] = None) -> float:
+        tasks = self.tasks_of(component) if component else self.all_tasks()
+        return sum(t.counter(name) for t in tasks)
+
+
+@dataclass
+class ClusterReport:
+    """The digest of one simulated run — the experiments read this.
+
+    Attributes
+    ----------
+    records:
+        Number of source records fed in.
+    makespan:
+        Simulated time from first arrival to last processed event.
+    capacity_throughput:
+        ``records / busiest-task busy-time`` — the sustainable input
+        rate the topology could absorb, bounded by its bottleneck. This
+        is the paper's throughput metric (they push input until
+        saturation; saturation is exactly the bottleneck's capacity).
+    achieved_throughput:
+        ``records / makespan`` at the offered rate of this run.
+    messages / bytes:
+        Total inter-task traffic (communication cost).
+    load_balance:
+        max/avg busy time across the join-component tasks; 1.0 is
+        perfect balance.
+    """
+
+    records: int
+    results: int
+    makespan: float
+    capacity_throughput: float
+    achieved_throughput: float
+    messages: int
+    bytes: int
+    load_balance: float
+    bottleneck_component: str
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    counters: Dict[str, float]
+    per_task_busy: Dict[str, List[float]]
+    wall_clock_seconds: float = 0.0
+
+    @property
+    def messages_per_record(self) -> float:
+        return self.messages / self.records if self.records else 0.0
+
+    @property
+    def bytes_per_record(self) -> float:
+        return self.bytes / self.records if self.records else 0.0
+
+    def counter(self, name: str) -> float:
+        return self.counters.get(name, 0.0)
+
+    def as_row(self) -> Dict[str, object]:
+        """Flat row for tabular reports."""
+        return {
+            "records": self.records,
+            "results": self.results,
+            "throughput": round(self.capacity_throughput, 1),
+            "msgs/rec": round(self.messages_per_record, 2),
+            "bytes/rec": round(self.bytes_per_record, 1),
+            "balance": round(self.load_balance, 3),
+            "lat_p95_ms": round(self.latency_p95 * 1e3, 3),
+        }
+
+
+def build_report(
+    registry: MetricsRegistry,
+    records: int,
+    makespan: float,
+    join_component: str,
+    wall_clock_seconds: float = 0.0,
+) -> ClusterReport:
+    """Aggregate a registry into a :class:`ClusterReport`.
+
+    ``join_component`` names the component whose tasks define load
+    balance (the parallel join bolts).
+    """
+    all_tasks = registry.all_tasks()
+    busiest = max(all_tasks, key=lambda t: t.busy_seconds, default=None)
+    max_busy = busiest.busy_seconds if busiest else 0.0
+    capacity = records / max_busy if max_busy > 0 else float("inf")
+
+    join_tasks = registry.tasks_of(join_component)
+    join_busy = [t.busy_seconds for t in join_tasks]
+    avg_busy = sum(join_busy) / len(join_busy) if join_busy else 0.0
+    balance = (max(join_busy) / avg_busy) if avg_busy > 0 else 1.0
+
+    messages = sum(c.messages for c in registry.all_channels())
+    total_bytes = sum(c.bytes for c in registry.all_channels())
+
+    counters: Dict[str, float] = defaultdict(float)
+    for task in all_tasks:
+        for name, value in task.counters.items():
+            counters[name] += value
+
+    per_task_busy: Dict[str, List[float]] = defaultdict(list)
+    for task in all_tasks:
+        per_task_busy[task.component].append(task.busy_seconds)
+
+    return ClusterReport(
+        records=records,
+        results=int(counters.get("results", 0)),
+        makespan=makespan,
+        capacity_throughput=capacity,
+        achieved_throughput=records / makespan if makespan > 0 else float("inf"),
+        messages=messages,
+        bytes=total_bytes,
+        load_balance=balance,
+        bottleneck_component=busiest.component if busiest else "",
+        latency_mean=registry.latency.mean(),
+        latency_p50=registry.latency.quantile(0.50),
+        latency_p95=registry.latency.quantile(0.95),
+        latency_p99=registry.latency.quantile(0.99),
+        counters=dict(counters),
+        per_task_busy=dict(per_task_busy),
+        wall_clock_seconds=wall_clock_seconds,
+    )

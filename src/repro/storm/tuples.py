@@ -1,0 +1,64 @@
+"""Tuples: the unit of data exchanged between tasks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.records import Record
+
+
+@dataclass(frozen=True)
+class StormTuple:
+    """An immutable tuple flowing through the topology.
+
+    Attributes
+    ----------
+    stream:
+        Logical stream id within the source component (``"default"``
+        unless the component declares more).
+    values:
+        The payload fields.
+    source_component / source_task:
+        Provenance, for metrics and debugging.
+    emit_time:
+        Simulated time at which the producer finished emitting it.
+    """
+
+    stream: str
+    values: Tuple[Any, ...]
+    source_component: str
+    source_task: int
+    emit_time: float
+
+    def __getitem__(self, index: int) -> Any:
+        return self.values[index]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def payload_bytes(values: Tuple[Any, ...]) -> int:
+    """Estimated serialized size of a tuple payload.
+
+    Mirrors a compact binary wire format: 4 bytes per int/float field,
+    records as an id + length header + 4 bytes per token, strings as
+    their UTF-8 length, plus a small per-field tag. The absolute scale
+    only matters relative to the network's ``bytes_per_second``.
+    """
+    total = 0
+    for value in values:
+        total += 1  # field tag
+        if isinstance(value, Record):
+            total += 12 + 4 * len(value.tokens)  # rid + timestamp + tokens
+        elif isinstance(value, bool):
+            total += 1
+        elif isinstance(value, (int, float)):
+            total += 4
+        elif isinstance(value, str):
+            total += len(value.encode("utf-8"))
+        elif isinstance(value, (tuple, list)):
+            total += 4 + 4 * len(value)
+        else:
+            total += 8  # opaque reference
+    return total

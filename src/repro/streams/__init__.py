@@ -1,0 +1,22 @@
+"""Streaming layer: timestamped record streams, arrival processes and
+sliding-window semantics.
+
+The paper joins an unbounded stream under a time-based sliding window:
+a pair ``(r, s)`` qualifies only if both records are alive together,
+i.e. the later arrival happens within ``window`` seconds of the earlier
+one (``window = inf`` recovers the unbounded append-only join the
+throughput experiments use).
+"""
+
+from repro.streams.arrival import BurstyArrivals, ConstantRate, PoissonArrivals
+from repro.streams.stream import RecordStream, materialize
+from repro.streams.window import SlidingWindow
+
+__all__ = [
+    "BurstyArrivals",
+    "ConstantRate",
+    "PoissonArrivals",
+    "RecordStream",
+    "SlidingWindow",
+    "materialize",
+]

@@ -1,0 +1,130 @@
+"""Adaptive repartitioning: rolling histograms, triggers, migration."""
+
+import random
+
+import pytest
+
+from repro.partition.adaptive import (
+    AdaptiveLengthPartitioner,
+    RollingLengthHistogram,
+    migration_fraction,
+)
+from repro.partition.length_partition import LengthPartition
+from repro.partition.stats import LengthHistogram
+from repro.similarity.functions import Jaccard
+
+
+class TestRollingHistogram:
+    def test_recent_dominates_after_drift(self):
+        rolling = RollingLengthHistogram(half_life=100)
+        for _ in range(1000):
+            rolling.observe(5)
+        for _ in range(1000):
+            rolling.observe(50)
+        snapshot = rolling.snapshot(scale_to=1000)
+        assert snapshot.count(50) > 50 * snapshot.count(5)
+
+    def test_uniform_stream_stays_uniform(self):
+        rolling = RollingLengthHistogram(half_life=500)
+        rng = random.Random(1)
+        for _ in range(5000):
+            rolling.observe(rng.randint(1, 10))
+        snapshot = rolling.snapshot(scale_to=1000)
+        counts = [snapshot.count(l) for l in range(1, 11)]
+        assert max(counts) < 3 * min(counts)
+
+    def test_rescaling_keeps_running(self):
+        rolling = RollingLengthHistogram(half_life=2)  # aggressive growth
+        for _ in range(500):
+            rolling.observe(3)
+        assert rolling.snapshot(100).count(3) == 100
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RollingLengthHistogram(0)
+        with pytest.raises(ValueError):
+            RollingLengthHistogram().observe(0)
+
+    def test_empty_snapshot(self):
+        assert RollingLengthHistogram().snapshot().total == 0
+
+
+class TestMigrationFraction:
+    def test_identical_plans_move_nothing(self):
+        plan = LengthPartition(((1, 5), (6, 10)))
+        histogram = LengthHistogram.from_lengths([2, 3, 7, 9])
+        assert migration_fraction(plan, plan, histogram, Jaccard(0.8)) == 0.0
+
+    def test_full_swap_moves_everything(self):
+        old = LengthPartition(((1, 5), (6, 10)))
+        new = LengthPartition(((1, 1), (2, 10)))
+        histogram = LengthHistogram.from_lengths([3, 4, 5])
+        assert migration_fraction(old, new, histogram, Jaccard(0.8)) == 1.0
+
+    def test_partial_move_weighted_by_prefix(self):
+        old = LengthPartition(((1, 5), (6, 10)))
+        new = LengthPartition(((1, 6), (7, 10)))
+        histogram = LengthHistogram.from_lengths([3, 6])
+        fraction = migration_fraction(old, new, histogram, Jaccard(0.8))
+        assert 0.0 < fraction < 1.0
+
+
+class TestAdaptivePartitioner:
+    def make(self, **overrides):
+        defaults = dict(
+            func=Jaccard(0.8),
+            num_workers=4,
+            vocabulary_size=500,
+            half_life=300,
+            check_interval=200,
+            imbalance_trigger=1.4,
+        )
+        defaults.update(overrides)
+        return AdaptiveLengthPartitioner(**defaults)
+
+    def test_first_checkpoint_plans(self):
+        adaptive = self.make()
+        decisions = [adaptive.observe(l) for l in ([5] * 150 + [12] * 150)]
+        checkpoints = [d for d in decisions if d is not None]
+        assert checkpoints and checkpoints[0].replanned
+        assert adaptive.partition is not None
+
+    def test_stable_stream_never_replans_again(self):
+        adaptive = self.make()
+        rng = random.Random(2)
+        for _ in range(3000):
+            adaptive.observe(rng.randint(8, 12))
+        assert adaptive.replans == 1  # the initial plan only
+
+    def test_drift_triggers_replan_and_rebalances(self):
+        adaptive = self.make()
+        rng = random.Random(3)
+        # phase 1: short records
+        for _ in range(1500):
+            adaptive.observe(max(1, round(rng.gauss(8, 2))))
+        plan_before = adaptive.partition
+        # phase 2: much longer records
+        decisions = []
+        for _ in range(3000):
+            decision = adaptive.observe(max(1, round(rng.gauss(60, 10))))
+            if decision is not None:
+                decisions.append(decision)
+        assert adaptive.replans >= 2
+        assert adaptive.partition != plan_before
+        replan = next(d for d in decisions if d.replanned)
+        assert replan.projected_imbalance > 1.4
+        assert 0.0 <= replan.migration_fraction <= 1.0
+        # after settling, projections are balanced again
+        assert decisions[-1].projected_imbalance < 1.4
+
+    def test_checkpoint_before_data_rejected(self):
+        with pytest.raises(ValueError, match="before observing"):
+            self.make().checkpoint()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.make(num_workers=0)
+        with pytest.raises(ValueError):
+            self.make(check_interval=0)
+        with pytest.raises(ValueError):
+            self.make(imbalance_trigger=1.0)

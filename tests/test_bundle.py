@@ -1,0 +1,186 @@
+"""Bundle index: result equivalence, structure and the cost claims."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bundle import BundleIndex
+from repro.core.local_join import StreamingSetJoin
+from repro.core.metering import WorkMeter
+from repro.core.reference import naive_join
+from repro.core.verify import diff_against
+from repro.records import Record, pair_key
+from repro.similarity.functions import Jaccard
+from repro.streams.window import SlidingWindow
+
+
+def make_records(corpus, spacing=1.0):
+    return [
+        Record(rid=i, tokens=tuple(sorted(set(tokens))), timestamp=i * spacing)
+        for i, tokens in enumerate(corpus)
+    ]
+
+
+def duplicate_heavy_corpus(rng, n, universe=40, max_len=12, dup_rate=0.5):
+    corpus = []
+    for _ in range(n):
+        if corpus and rng.random() < dup_rate:
+            base = list(rng.choice(corpus[-30:]))
+            if base and rng.random() < 0.3:
+                base[rng.randrange(len(base))] = rng.randrange(universe)
+            corpus.append(base)
+        else:
+            corpus.append(
+                [rng.randrange(universe) for _ in range(rng.randint(1, max_len))]
+            )
+    return corpus
+
+
+def run_bundle_engine(records, func, window=None, **kwargs):
+    engine = BundleIndex(func, window=window, **kwargs)
+    found = {}
+    for r in records:
+        for match in engine.probe_and_insert(r):
+            key = pair_key(r, match.partner)
+            assert key not in found, f"pair {key} reported twice"
+            found[key] = match.similarity
+    return found, engine
+
+
+class TestDiffAgainst:
+    @given(
+        rep=st.lists(st.integers(0, 30), max_size=15).map(
+            lambda v: tuple(sorted(set(v)))
+        ),
+        tokens=st.lists(st.integers(0, 30), max_size=15).map(
+            lambda v: tuple(sorted(set(v)))
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_diff_identity(self, rep, tokens):
+        dplus, dminus, overlap, _ = diff_against(rep, tokens)
+        assert set(dplus) == set(tokens) - set(rep)
+        assert set(dminus) == set(rep) - set(tokens)
+        assert overlap == len(set(rep) & set(tokens))
+        # reconstruction: (rep \ dminus) ∪ dplus == tokens
+        assert tuple(sorted((set(rep) - set(dminus)) | set(dplus))) == tokens
+
+
+class TestBundleEquivalence:
+    @pytest.mark.parametrize("threshold", [0.6, 0.75, 0.9])
+    @pytest.mark.parametrize("batch", [True, False], ids=["batch", "individual"])
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_matches_record_engine_and_oracle(self, threshold, batch, seed):
+        rng = random.Random(seed)
+        func = Jaccard(threshold)
+        records = make_records(duplicate_heavy_corpus(rng, 150))
+        bundle_found, _ = run_bundle_engine(
+            records,
+            func,
+            bundle_threshold=max(0.9, threshold),
+            batch_verification=batch,
+        )
+        oracle = naive_join(records, func)
+        assert set(bundle_found) == set(oracle)
+        for key, similarity in bundle_found.items():
+            assert similarity == pytest.approx(oracle[key])
+
+    def test_windowed_equivalence(self):
+        rng = random.Random(12)
+        func = Jaccard(0.7)
+        window = SlidingWindow(8.0)
+        records = make_records(duplicate_heavy_corpus(rng, 150))
+        found, _ = run_bundle_engine(records, func, window=window)
+        assert set(found) == set(naive_join(records, func, window))
+
+    @given(
+        corpus=st.lists(
+            st.lists(st.integers(0, 20), min_size=0, max_size=8),
+            max_size=50,
+        ),
+        threshold=st.sampled_from([0.6, 0.8]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_equivalence(self, corpus, threshold):
+        func = Jaccard(threshold)
+        records = make_records(corpus)
+        found, _ = run_bundle_engine(records, func)
+        assert set(found) == set(naive_join(records, func))
+
+
+class TestBundleStructure:
+    def test_exact_duplicates_share_a_bundle(self):
+        func = Jaccard(0.8)
+        records = make_records([[1, 2, 3, 4, 5]] * 6)
+        _, engine = run_bundle_engine(records, func, bundle_threshold=0.9)
+        assert engine.num_bundles == 1
+        assert engine.bundle_sizes() == [6]
+
+    def test_dissimilar_records_get_own_bundles(self):
+        func = Jaccard(0.8)
+        records = make_records([[1, 2, 3], [10, 11, 12], [20, 21, 22]])
+        _, engine = run_bundle_engine(records, func)
+        assert engine.num_bundles == 3
+
+    def test_bundles_cut_postings(self):
+        """The paper's filtering-cost claim: duplicate-heavy streams
+        produce far fewer index postings under bundling."""
+        func = Jaccard(0.8)
+        records = make_records([[i, i + 1, i + 2, 100] for i in range(5)] * 8)
+        meter_plain = WorkMeter()
+        plain = StreamingSetJoin(func, meter=meter_plain)
+        for r in records:
+            plain.probe_and_insert(r)
+        _, bundled = run_bundle_engine(records, func)
+        assert bundled.live_postings < plain.live_postings / 2
+
+    def test_max_members_cap(self):
+        func = Jaccard(0.8)
+        records = make_records([[1, 2, 3, 4]] * 10)
+        _, engine = run_bundle_engine(records, func, max_members=4)
+        assert max(engine.bundle_sizes()) <= 4
+        assert engine.num_bundles >= 3
+
+    def test_validation(self):
+        func = Jaccard(0.8)
+        with pytest.raises(ValueError, match="bundle_threshold"):
+            BundleIndex(func, bundle_threshold=1.5)
+        with pytest.raises(ValueError, match="bundle_threshold"):
+            BundleIndex(func, bundle_threshold=0.5)  # below join threshold
+        with pytest.raises(ValueError, match="max_members"):
+            BundleIndex(func, max_members=0)
+
+    def test_expired_bundles_are_retired(self):
+        func = Jaccard(0.9)
+        window = SlidingWindow(1.0)
+        engine = BundleIndex(func, window=window)
+        for i in range(10):
+            engine.probe_and_insert(Record(i, (1, 2, 3), timestamp=i * 0.05))
+        assert engine.num_bundles == 1
+        engine.probe(Record(99, (1, 2, 9), timestamp=1e6))
+        assert engine.num_bundles == 0
+
+
+class TestBatchVerificationSharing:
+    def test_batch_does_fewer_comparisons_on_big_bundles(self):
+        """E8's claim in miniature: verifying a probe against a bundle
+        of near-duplicates costs fewer token comparisons with sharing."""
+        func = Jaccard(0.8)
+        base = list(range(0, 40, 2))  # 20 tokens
+        corpus = [base] * 30 + [base]  # last probe hits a 30-member bundle
+        records = make_records(corpus)
+
+        comparisons = {}
+        for batch in (True, False):
+            meter = WorkMeter()
+            engine = BundleIndex(
+                func, meter=meter, batch_verification=batch, bundle_threshold=0.9
+            )
+            for r in records[:-1]:
+                engine.probe_and_insert(r)
+            before = meter.operation("token_compare")
+            engine.probe(records[-1])
+            comparisons[batch] = meter.operation("token_compare") - before
+        assert comparisons[True] < comparisons[False]

@@ -1,0 +1,85 @@
+"""CLI round-trips: generate → stats → join → bench."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestGenerateAndStats:
+    def test_generate_then_stats(self, tmp_path, capsys):
+        out = tmp_path / "corpus.txt"
+        assert main(["generate", str(out), "--corpus", "AOL",
+                     "--records", "50", "--seed", "3"]) == 0
+        assert "wrote 50 records" in capsys.readouterr().out
+        assert main(["stats", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "50" in captured and "dataset" in captured
+
+    def test_duplicate_rate_flag(self, tmp_path, capsys):
+        out = tmp_path / "dups.txt"
+        assert main(["generate", str(out), "--records", "40",
+                     "--duplicate-rate", "0.9"]) == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 40
+        assert len(set(lines)) < 40  # duplicates present
+
+
+class TestJoin:
+    @pytest.fixture
+    def corpus_file(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\n"
+        )
+        return path
+
+    def test_join_summary(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--threshold", "0.7",
+                     "--workers", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "method" in out and "throughput" in out
+
+    def test_join_pairs_output(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--threshold", "0.7",
+                     "--workers", "2", "--pairs"]) == 0
+        out = capsys.readouterr().out
+        # records 0, 1, 3 are mutually similar: pairs (0,1),(0,3),(1,3)
+        pair_lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert len(pair_lines) == 3
+        assert any(line.startswith("1.0000") for line in pair_lines)
+
+    def test_join_max_records(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--max-records", "2",
+                     "--threshold", "0.7", "--pairs"]) == 0
+        out = capsys.readouterr().out
+        pair_lines = [l for l in out.splitlines() if l and l[0].isdigit()]
+        assert len(pair_lines) == 1
+
+    def test_join_with_bundles_and_window(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--bundles",
+                     "--window", "10", "--dispatchers", "2"]) == 0
+
+
+class TestBench:
+    def test_bench_prints_method_table(self, capsys):
+        assert main(["bench", "--corpus", "AOL", "--records", "300",
+                     "--workers", "2", "--dispatchers", "1"]) == 0
+        out = capsys.readouterr().out
+        for label in ("BRD", "PRE", "LEN-U", "LEN", "LEN+BUN"):
+            assert label in out
+
+    def test_bench_vocabulary_override(self, capsys):
+        assert main(["bench", "--corpus", "TWEET", "--records", "200",
+                     "--workers", "2", "--dispatchers", "1",
+                     "--vocabulary", "100"]) == 0
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_corpus(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--corpus", "WIKI"])

@@ -1,0 +1,185 @@
+"""The single-node streaming join engine against the brute-force oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.local_join import StreamingSetJoin
+from repro.core.metering import WorkMeter
+from repro.core.reference import naive_join
+from repro.records import Record, pair_key
+from repro.similarity.functions import Cosine, Dice, Jaccard, Overlap
+from repro.streams.window import SlidingWindow
+
+
+def make_records(corpus, spacing=1.0):
+    return [
+        Record(rid=i, tokens=tuple(sorted(set(tokens))), timestamp=i * spacing)
+        for i, tokens in enumerate(corpus)
+    ]
+
+
+def run_engine(records, func, window=None):
+    engine = StreamingSetJoin(func, window=window)
+    found = {}
+    for r in records:
+        for match in engine.probe_and_insert(r):
+            key = pair_key(r, match.partner)
+            assert key not in found, f"pair {key} reported twice"
+            found[key] = match.similarity
+    return found, engine
+
+
+def random_corpus(rng, n, universe, max_len, dup_rate=0.3):
+    corpus = []
+    for _ in range(n):
+        if corpus and rng.random() < dup_rate:
+            base = list(rng.choice(corpus))
+            if base and rng.random() < 0.5:
+                base[rng.randrange(len(base))] = rng.randrange(universe)
+            corpus.append(base)
+        else:
+            size = rng.randint(1, max_len)
+            corpus.append([rng.randrange(universe) for _ in range(size)])
+    return corpus
+
+
+FUNCS = [Jaccard(0.8), Jaccard(0.6), Cosine(0.8), Dice(0.75), Overlap(3)]
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("func", FUNCS, ids=lambda f: f"{f.name}-{f.threshold}")
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_unbounded_window_equivalence(self, func, seed):
+        rng = random.Random(seed)
+        records = make_records(random_corpus(rng, 120, universe=40, max_len=12))
+        found, _ = run_engine(records, func)
+        oracle = naive_join(records, func)
+        assert set(found) == set(oracle)
+        for key, similarity in found.items():
+            assert similarity == pytest.approx(oracle[key])
+
+    @pytest.mark.parametrize("window_seconds", [1.5, 5.0, 40.0])
+    def test_windowed_equivalence(self, window_seconds):
+        rng = random.Random(9)
+        func = Jaccard(0.7)
+        window = SlidingWindow(window_seconds)
+        records = make_records(random_corpus(rng, 150, universe=30, max_len=10))
+        found, _ = run_engine(records, func, window)
+        oracle = naive_join(records, func, window)
+        assert set(found) == set(oracle)
+
+    def test_empty_records_never_join(self):
+        func = Jaccard(0.5)
+        records = [
+            Record(0, (), 0.0),
+            Record(1, (), 1.0),
+            Record(2, (1, 2), 2.0),
+        ]
+        found, _ = run_engine(records, func)
+        assert found == {}
+
+    @given(
+        corpus=st.lists(
+            st.lists(st.integers(0, 25), min_size=0, max_size=10),
+            min_size=0,
+            max_size=60,
+        ),
+        threshold=st.sampled_from([0.5, 0.7, 0.8, 0.95]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_equivalence(self, corpus, threshold):
+        func = Jaccard(threshold)
+        records = make_records(corpus)
+        found, _ = run_engine(records, func)
+        assert set(found) == set(naive_join(records, func))
+
+
+class TestEngineMechanics:
+    def test_no_self_pairs(self):
+        func = Jaccard(0.5)
+        records = make_records([[1, 2, 3], [1, 2, 3]])
+        found, _ = run_engine(records, func)
+        assert set(found) == {(0, 1)}
+
+    def test_lazy_expiration_shrinks_index(self):
+        func = Jaccard(0.9)
+        window = SlidingWindow(1.0)
+        engine = StreamingSetJoin(func, window=window)
+        for i in range(20):
+            engine.probe_and_insert(Record(i, (1, 2, 3), timestamp=float(i) * 0.1))
+        postings_before = engine.live_postings
+        # far-future probe with the shared token expires all postings
+        engine.probe(Record(99, (1, 5, 9), timestamp=1e6))
+        assert engine.live_postings < postings_before
+
+    def test_meter_counts_work(self):
+        meter = WorkMeter()
+        engine = StreamingSetJoin(Jaccard(0.5), meter=meter)
+        records = make_records([[1, 2, 3], [1, 2, 4], [1, 2, 3, 4]])
+        for r in records:
+            engine.probe_and_insert(r)
+        assert meter.operation("posting_insert") > 0
+        assert meter.operation("posting_scan") > 0
+        assert meter.count("candidates") >= meter.count("verifications") > 0
+        assert meter.count("postings_inserted") == meter.operation("posting_insert")
+
+    def test_token_filter_restricts_index(self):
+        even = StreamingSetJoin(Jaccard(0.5), token_filter=lambda t: t % 2 == 0)
+        even.insert(Record(0, (1, 2, 3, 4), 0.0))
+        # only even prefix tokens are posted
+        assert even.live_postings <= 2
+
+    def test_pair_filter_blocks_reporting(self):
+        engine = StreamingSetJoin(Jaccard(0.5), pair_filter=lambda r, s: False)
+        records = make_records([[1, 2, 3], [1, 2, 3]])
+        results = []
+        for r in records:
+            results.extend(engine.probe_and_insert(r))
+        assert results == []
+
+    def test_zero_size_probe_returns_nothing(self):
+        engine = StreamingSetJoin(Jaccard(0.5))
+        engine.insert(Record(0, (1,), 0.0))
+        assert engine.probe(Record(1, (), 1.0)) == []
+
+
+class TestFilteredModeEquivalence:
+    """A union of token-filtered engines must equal one unfiltered
+    engine (the prefix scheme's per-worker decomposition)."""
+
+    @pytest.mark.parametrize("num_workers", [2, 3, 5])
+    def test_union_over_token_shards(self, num_workers):
+        from repro.core.dedup import PrefixDedupFilter
+        from repro.routing.prefix_router import token_owner
+
+        func = Jaccard(0.6)
+        rng = random.Random(17)
+        records = make_records(random_corpus(rng, 140, universe=35, max_len=10))
+        oracle = naive_join(records, func)
+
+        engines = []
+        for w in range(num_workers):
+            meter = WorkMeter()
+            engines.append(
+                StreamingSetJoin(
+                    func,
+                    meter=meter,
+                    token_filter=lambda t, w=w: token_owner(t, num_workers) == w,
+                    pair_filter=PrefixDedupFilter(w, num_workers, func, meter),
+                )
+            )
+        found = {}
+        for r in records:
+            width = func.probe_prefix_length(r.size)
+            owners = {token_owner(t, num_workers) for t in r.tokens[:width]}
+            for w in sorted(owners):
+                for match in engines[w].probe(r):
+                    key = pair_key(r, match.partner)
+                    assert key not in found, f"pair {key} reported at 2 workers"
+                    found[key] = match.similarity
+            for w in sorted(owners):
+                engines[w].insert(r)
+        assert set(found) == set(oracle)

@@ -1,0 +1,142 @@
+"""Routing-scheme properties: completeness and exactly-once discovery.
+
+The central invariant (DESIGN.md §7.2): for every qualifying pair, the
+scheme must co-locate the later record's *probe* with the earlier
+record's *index* at exactly the worker(s) the scheme's dedup rule
+reports from.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition.length_partition import LengthPartition, uniform_partition
+from repro.records import Record
+from repro.routing.base import RoutingDecision
+from repro.routing.broadcast_router import BroadcastRouter
+from repro.routing.length_router import LengthRouter
+from repro.routing.prefix_router import PrefixRouter, token_owner
+from repro.similarity.functions import Jaccard
+
+
+def canonical(values):
+    return tuple(sorted(set(values)))
+
+
+token_sets = st.lists(st.integers(0, 50), min_size=1, max_size=25).map(canonical)
+thresholds = st.sampled_from([0.6, 0.7, 0.8, 0.9])
+worker_counts = st.integers(1, 9)
+
+
+def record(rid, tokens):
+    return Record(rid=rid, tokens=tokens, timestamp=float(rid))
+
+
+class TestRoutingDecision:
+    def test_message_count_merges_overlap(self):
+        d = RoutingDecision(index_tasks=(1,), probe_tasks=(0, 1, 2))
+        assert d.message_count == 3
+
+    def test_router_validation(self):
+        with pytest.raises(ValueError):
+            BroadcastRouter(0)
+
+
+class TestLengthRouter:
+    def make(self, k=4, threshold=0.8, max_len=30):
+        partition = uniform_partition(1, max_len, k)
+        return LengthRouter(partition, Jaccard(threshold))
+
+    def test_single_index_home(self):
+        router = self.make()
+        decision = router.route(record(0, (1, 2, 3, 4, 5)))
+        assert len(decision.index_tasks) == 1
+
+    def test_probe_covers_admissible_lengths(self):
+        router = self.make(k=6, threshold=0.8, max_len=30)
+        r = record(0, tuple(range(10)))
+        lo, hi = Jaccard(0.8).length_bounds(10)
+        expected = {router.partition.owner_of(l) for l in range(lo, hi + 1)}
+        assert set(router.route(r).probe_tasks) == expected
+
+    def test_home_always_probed(self):
+        """Own partition holds admissible partners (equal lengths), so
+        the index home is always in the probe set."""
+        router = self.make(k=8)
+        for size in (1, 5, 17, 30):
+            r = record(0, tuple(range(size)))
+            decision = router.route(r)
+            assert decision.index_tasks[0] in decision.probe_tasks
+
+    @given(r=token_sets, s=token_sets, threshold=thresholds, k=worker_counts)
+    @settings(max_examples=300, deadline=None)
+    def test_complete_and_exactly_once(self, r, s, threshold, k):
+        """Later record's probe set contains the earlier record's index
+        home — exactly once — whenever the pair qualifies."""
+        func = Jaccard(threshold)
+        router = LengthRouter(uniform_partition(1, 60, k), func)
+        earlier, later = record(0, s), record(1, r)
+        if func.similarity(r, s) < threshold:
+            return
+        home = router.route(earlier).index_tasks[0]
+        probes = router.route(later).probe_tasks
+        assert probes.count(home) == 1
+
+
+class TestPrefixRouter:
+    def test_token_owner_stable(self):
+        assert token_owner(42, 8) == token_owner(42, 8)
+        owners = {token_owner(t, 8) for t in range(2000)}
+        assert owners == set(range(8))  # all workers used
+
+    def test_replicates_to_prefix_owners(self):
+        router = PrefixRouter(8, Jaccard(0.5))
+        r = record(0, tuple(range(20)))  # prefix length 11 at θ=0.5
+        decision = router.route(r)
+        assert decision.index_tasks == decision.probe_tasks
+        assert 1 <= len(decision.index_tasks) <= 8
+
+    def test_empty_record_gets_a_home(self):
+        router = PrefixRouter(4, Jaccard(0.8))
+        decision = router.route(record(0, ()))
+        assert decision.index_tasks == (0,)
+
+    def test_routing_units_charges_prefix_hashing(self):
+        from repro.storm.costmodel import CostModel
+
+        router = PrefixRouter(4, Jaccard(0.8))
+        units = router.routing_units(record(0, tuple(range(10))), CostModel())
+        assert units == CostModel().route_token * 3
+
+    @given(r=token_sets, s=token_sets, threshold=thresholds, k=worker_counts)
+    @settings(max_examples=300, deadline=None)
+    def test_minimal_common_token_worker_is_reached(self, r, s, threshold, k):
+        """Qualifying pairs meet at the owner of their minimal common
+        prefix token: the later record probes there and the earlier one
+        indexed there (the worker the dedup rule reports from)."""
+        func = Jaccard(threshold)
+        if func.similarity(r, s) < threshold:
+            return
+        router = PrefixRouter(k, func)
+        pr = func.probe_prefix_length(len(r))
+        ps = func.index_prefix_length(len(s))
+        common = sorted(set(r[:pr]) & set(s[:ps]))
+        assert common, "prefix lemma guarantees a common prefix token"
+        owner = token_owner(common[0], k)
+        assert owner in router.route(record(1, r)).probe_tasks
+        assert owner in router.route(record(0, s)).index_tasks
+
+
+class TestBroadcastRouter:
+    def test_probe_everywhere_index_once(self):
+        router = BroadcastRouter(5)
+        decision = router.route(record(7, (1, 2)))
+        assert decision.probe_tasks == (0, 1, 2, 3, 4)
+        assert decision.index_tasks == (7 % 5,)
+
+    @given(r=token_sets, k=worker_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_trivially_complete(self, r, k):
+        router = BroadcastRouter(k)
+        decision = router.route(record(3, r))
+        assert set(decision.probe_tasks) == set(range(k))

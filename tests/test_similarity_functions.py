@@ -1,0 +1,167 @@
+"""Unit + property tests for similarity functions and their bounds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.similarity.functions import (
+    Cosine,
+    Dice,
+    Jaccard,
+    Overlap,
+    get_similarity,
+)
+
+FUNCS = [Jaccard, Cosine, Dice]
+
+
+def canonical(values):
+    return tuple(sorted(set(values)))
+
+
+token_sets = st.lists(st.integers(0, 60), min_size=0, max_size=30).map(canonical)
+thresholds = st.sampled_from([0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 1.0])
+
+
+class TestExactValues:
+    def test_jaccard_known_values(self):
+        f = Jaccard(0.5)
+        assert f.similarity((1, 2, 3), (2, 3, 4)) == pytest.approx(2 / 4)
+        assert f.similarity((1, 2), (1, 2)) == 1.0
+        assert f.similarity((1,), (2,)) == 0.0
+        assert f.similarity((), ()) == 1.0
+
+    def test_cosine_known_values(self):
+        f = Cosine(0.5)
+        assert f.similarity((1, 2, 3, 4), (3, 4, 5, 6)) == pytest.approx(2 / 4)
+        assert f.similarity((1, 2), ()) == 0.0
+        assert f.similarity((), ()) == 1.0
+
+    def test_dice_known_values(self):
+        f = Dice(0.5)
+        assert f.similarity((1, 2, 3), (2, 3, 4)) == pytest.approx(4 / 6)
+        assert f.similarity((), ()) == 1.0
+
+    def test_overlap_counts(self):
+        f = Overlap(2)
+        assert f.similarity((1, 2, 3), (2, 3, 4)) == 2.0
+        assert f.matches((1, 2, 3), (2, 3, 4))
+        assert not f.matches((1, 2, 3), (3, 4, 5))
+
+    def test_min_overlap_jaccard_formula(self):
+        f = Jaccard(0.8)
+        # o/(10+10-o) >= 0.8  =>  o >= 8.888…  =>  9
+        assert f.min_overlap(10, 10) == 9
+
+    def test_length_bounds_jaccard(self):
+        assert Jaccard(0.8).length_bounds(10) == (8, 12)
+        assert Jaccard(0.5).length_bounds(10) == (5, 20)
+
+    def test_prefix_length_jaccard(self):
+        # probe prefix = l - ceil(θ l) + 1
+        assert Jaccard(0.8).probe_prefix_length(10) == 3
+        assert Jaccard(0.8).probe_prefix_length(1) == 1
+
+    def test_prefix_length_never_exceeds_size(self):
+        for f in (Jaccard(0.5), Cosine(0.5), Dice(0.5)):
+            for l in range(1, 50):
+                assert 1 <= f.probe_prefix_length(l) <= l
+
+
+class TestValidation:
+    @pytest.mark.parametrize("cls", FUNCS)
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_bad_threshold(self, cls, bad):
+        with pytest.raises(ValueError):
+            cls(bad)
+
+    def test_overlap_rejects_fractional_threshold(self):
+        with pytest.raises(ValueError):
+            Overlap(0.5)
+        with pytest.raises(ValueError):
+            Overlap(2.5)
+
+    def test_registry(self):
+        assert isinstance(get_similarity("jaccard", 0.8), Jaccard)
+        assert isinstance(get_similarity("COSINE", 0.8), Cosine)
+        with pytest.raises(ValueError, match="unknown similarity"):
+            get_similarity("levenshtein", 0.8)
+
+    def test_equality_and_hash(self):
+        assert Jaccard(0.8) == Jaccard(0.8)
+        assert Jaccard(0.8) != Jaccard(0.9)
+        assert Jaccard(0.8) != Dice(0.8)
+        assert len({Jaccard(0.8), Jaccard(0.8), Dice(0.8)}) == 2
+
+
+class TestBoundExactness:
+    """The filters must be safe (never prune a qualifying pair) and the
+    min-overlap bound must exactly characterize the threshold."""
+
+    @pytest.mark.parametrize("cls", FUNCS)
+    @given(r=token_sets, s=token_sets, threshold=thresholds)
+    @settings(max_examples=300, deadline=None)
+    def test_min_overlap_characterizes_threshold(self, cls, r, s, threshold):
+        if not r or not s:
+            return
+        func = cls(threshold)
+        overlap = len(set(r) & set(s))
+        qualifies = func.similarity(r, s) >= threshold - 1e-12
+        assert qualifies == (overlap >= func.min_overlap(len(r), len(s)))
+
+    @pytest.mark.parametrize("cls", FUNCS)
+    @given(r=token_sets, s=token_sets, threshold=thresholds)
+    @settings(max_examples=300, deadline=None)
+    def test_length_filter_is_safe(self, cls, r, s, threshold):
+        if not r or not s:
+            return
+        func = cls(threshold)
+        if func.similarity(r, s) >= threshold - 1e-12:
+            lo, hi = func.length_bounds(len(r))
+            assert lo <= len(s) <= hi
+
+    @pytest.mark.parametrize("cls", FUNCS)
+    @given(r=token_sets, s=token_sets, threshold=thresholds)
+    @settings(max_examples=300, deadline=None)
+    def test_prefix_filter_is_safe(self, cls, r, s, threshold):
+        """Qualifying pairs share a token inside both prefixes."""
+        if not r or not s:
+            return
+        func = cls(threshold)
+        if func.similarity(r, s) < threshold - 1e-12:
+            return
+        pr = func.probe_prefix_length(len(r))
+        ps = func.index_prefix_length(len(s))
+        assert set(r[:pr]) & set(s[:ps]), (
+            f"qualifying pair shares no prefix token: {r[:pr]} vs {s[:ps]}"
+        )
+
+    @pytest.mark.parametrize("cls", FUNCS)
+    @given(data=st.data(), threshold=thresholds)
+    @settings(max_examples=200, deadline=None)
+    def test_similarity_from_overlap_consistent(self, cls, data, threshold):
+        r = data.draw(token_sets)
+        s = data.draw(token_sets)
+        func = cls(threshold)
+        o = len(set(r) & set(s))
+        assert func.similarity(r, s) == pytest.approx(
+            func.similarity_from_overlap(len(r), len(s), o)
+        )
+
+    @pytest.mark.parametrize("cls", FUNCS)
+    def test_min_overlap_monotone_in_partner_length(self, cls):
+        """probe_prefix_length assumes min_overlap is non-decreasing in
+        ls; certify it across the realistic domain."""
+        for threshold in (0.5, 0.7, 0.8, 0.9, 0.95):
+            func = cls(threshold)
+            for lr in (1, 5, 17, 64, 200):
+                values = [func.min_overlap(lr, ls) for ls in range(1, 400)]
+                assert values == sorted(values)
+
+    def test_overlap_length_bounds(self):
+        f = Overlap(3)
+        lo, hi = f.length_bounds(10)
+        assert lo == 3
+        assert hi >= 10**6  # effectively unbounded
