@@ -3,10 +3,13 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.bench.report import headline_from_metrics
 from repro.core.config import JoinConfig
 from repro.core.join import DistributedStreamJoin, JoinRunReport
+from repro.obs.exporters import metrics_to_json
+from repro.obs.observer import RunObserver
 from repro.storm.costmodel import CostModel, NetworkModel
 from repro.streams.stream import RecordStream
 
@@ -67,12 +70,49 @@ def run_methods(
     configs: Dict[str, JoinConfig],
     cost: Optional[CostModel] = None,
     network: Optional[NetworkModel] = None,
+    observer_factory: Optional[Callable[[str], Optional[RunObserver]]] = None,
 ) -> Dict[str, JoinRunReport]:
-    """Run every config over the same stream; reports keyed by label."""
-    return {
-        label: DistributedStreamJoin(config, cost=cost, network=network).run(stream)
-        for label, config in configs.items()
+    """Run every config over the same stream; reports keyed by label.
+
+    ``observer_factory`` (label → observer) switches on tracing or a
+    profiling timeline per method run; each report's observer is
+    reachable via its ``obs`` registry either way.
+    """
+    reports: Dict[str, JoinRunReport] = {}
+    for label, config in configs.items():
+        observer = observer_factory(label) if observer_factory else None
+        reports[label] = DistributedStreamJoin(
+            config, cost=cost, network=network
+        ).run(stream, observer=observer)
+    return reports
+
+
+def verify_instrumented_headlines(report: JoinRunReport) -> Dict[str, float]:
+    """Recompute the E2/E4/E5 headlines from the run's metrics export
+    and assert they match the cluster report exactly.
+
+    Every experiment table goes through the report; this check (used
+    by tests and the smoke command) proves the exported registry is
+    the same instrumented path, not a diverging copy.
+    """
+    recomputed = headline_from_metrics(metrics_to_json(report.obs))
+    expected = {
+        "records": float(report.cluster.records),
+        "throughput": report.cluster.capacity_throughput,
+        "messages_per_record": report.cluster.messages_per_record,
+        "bytes_per_record": report.cluster.bytes_per_record,
+        "load_balance": report.cluster.load_balance,
     }
+    mismatches = {
+        key: (recomputed[key], expected[key])
+        for key in expected
+        if recomputed[key] != expected[key]
+    }
+    if mismatches:
+        raise AssertionError(
+            f"metrics-derived headlines diverge from the report: {mismatches}"
+        )
+    return recomputed
 
 
 class ExperimentRunner:
@@ -95,12 +135,20 @@ class ExperimentRunner:
         self.cost = cost
         self.network = network
         self.reports: Dict[str, JoinRunReport] = {}
+        self.observers: Dict[str, RunObserver] = {}
 
-    def run(self, label: str, config: JoinConfig) -> JoinRunReport:
+    def run(
+        self,
+        label: str,
+        config: JoinConfig,
+        observer: Optional[RunObserver] = None,
+    ) -> JoinRunReport:
         report = DistributedStreamJoin(
             config, cost=self.cost, network=self.network
-        ).run(self.stream)
+        ).run(self.stream, observer=observer)
         self.reports[label] = report
+        if observer is not None:
+            self.observers[label] = observer
         return report
 
     def compare(self, configs: Dict[str, JoinConfig]) -> List[dict]:

@@ -1,8 +1,18 @@
-"""Plain-text tables and series — the benches print what the paper plots."""
+"""Plain-text tables and series — the benches print what the paper plots.
+
+Also the bridge from the observability exports back to the experiment
+headlines: :func:`headline_from_metrics` recomputes E2 (throughput),
+E4 (communication cost) and E5 (load balance) from a metrics dump
+alone, and the harness asserts the recomputation matches the report's
+numbers exactly — every table in EXPERIMENTS.md is derivable from the
+same instrumented path a production scrape would see.
+"""
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
+
+from repro.obs.exporters import metric_series
 
 
 def format_table(
@@ -45,6 +55,70 @@ def format_series(
             row[name] = round(values[index], precision)
         rows.append(row)
     return format_table(rows, [x_label, *series], title=title)
+
+
+def headline_from_metrics(
+    dump: Dict[str, object], join_component: Optional[str] = None
+) -> Dict[str, float]:
+    """Recompute the E2/E4/E5 headlines from a metrics dump.
+
+    ``dump`` is the JSON form of a run's metrics (either the dict from
+    :func:`repro.obs.exporters.metrics_to_json` or a loaded file).
+    Returns exactly the numbers the cluster report computes — same
+    inputs, same operation order — so equality is bit-exact:
+
+    * ``throughput`` (E2): records / max task busy seconds;
+    * ``messages_per_record`` / ``bytes_per_record`` (E4): summed
+      channel traffic over records;
+    * ``load_balance`` (E5): max/avg busy seconds across the join
+      component's tasks.
+    """
+    if join_component is None:
+        info = metric_series(dump, "run_info")
+        join_component = (
+            info[0]["labels"].get("join_component", "join") if info else "join"
+        )
+
+    busy: Dict[tuple, float] = {}
+    for row in metric_series(dump, "task_busy_seconds"):
+        labels = row["labels"]
+        key = (labels["component"], int(labels["task"]))
+        busy[key] = _num(row["value"])
+    records = _gauge_value(dump, "run_records")
+
+    max_busy = max(busy.values(), default=0.0)
+    throughput = records / max_busy if max_busy > 0 else float("inf")
+
+    messages = sum(_num(r["value"]) for r in metric_series(dump, "channel_messages"))
+    total_bytes = sum(_num(r["value"]) for r in metric_series(dump, "channel_bytes"))
+
+    # Same summation order as the report: tasks sorted by (component,
+    # task index) — float sums are order-sensitive.
+    join_busy = [
+        value
+        for (component, _task), value in sorted(busy.items())
+        if component == join_component
+    ]
+    avg_busy = sum(join_busy) / len(join_busy) if join_busy else 0.0
+    balance = (max(join_busy) / avg_busy) if avg_busy > 0 else 1.0
+
+    return {
+        "records": records,
+        "throughput": throughput,
+        "messages_per_record": messages / records if records else 0.0,
+        "bytes_per_record": total_bytes / records if records else 0.0,
+        "load_balance": balance,
+    }
+
+
+def _gauge_value(dump: Dict[str, object], name: str) -> float:
+    series = metric_series(dump, name)
+    return _num(series[0]["value"]) if series else 0.0
+
+
+def _num(value: object) -> float:
+    """Undo the exporter's non-finite-float string encoding."""
+    return float(value)
 
 
 def _cell(value: object) -> str:

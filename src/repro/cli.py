@@ -1,14 +1,22 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the workflows a downstream user needs:
+Five commands cover the workflows a downstream user needs:
 
 ``join``
     Run the distributed streaming join over a token file (one record
     per line, whitespace-separated tokens); print the report and,
-    optionally, the similar pairs.
+    optionally, the similar pairs. ``--trace-out``/``--metrics-out``
+    dump the run's tuple trace (JSONL) and metrics (JSON + Prometheus).
 ``bench``
     Compare the method suite (BRD/PRE/LEN-U/LEN/LEN+BUN) on a synthetic
-    corpus and print the standard table.
+    corpus and print the standard table; the same dump flags write one
+    artefact set per method.
+``trace``
+    Run one instrumented join (synthetic corpus or token file) and
+    show where tuples spend their time: per-hop latency breakdown and
+    the per-task busy timeline. ``--smoke`` runs a tiny end-to-end
+    check that the trace and metrics dumps are non-empty, schema-valid
+    and consistent with the report — CI's observability gate.
 ``generate``
     Write a synthetic corpus (AOL/TWEET/DBLP/ENRON-like) to a token
     file for use with ``join``.
@@ -20,15 +28,24 @@ from __future__ import annotations
 
 import argparse
 import math
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
-from repro.bench.harness import run_methods, standard_configs
+from repro.bench.harness import (
+    run_methods,
+    standard_configs,
+    verify_instrumented_headlines,
+)
 from repro.bench.report import format_table
 from repro.core.config import JoinConfig
 from repro.core.join import DistributedStreamJoin
 from repro.datasets.corpora import CORPUS_BUILDERS
 from repro.datasets.loader import load_token_file, save_token_file
+from repro.obs import RunObserver
+from repro.obs.exporters import load_metrics_json, write_metrics
+from repro.obs.tracing import load_trace_jsonl, validate_trace_lines
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--max-records", type=int, default=None)
     join.add_argument("--pairs", action="store_true",
                       help="print every similar pair")
+    _add_obs_flags(join, default_stride=1)
 
     bench = commands.add_parser("bench", help="compare methods on a synthetic corpus")
     bench.add_argument("--corpus", default="TWEET", choices=sorted(CORPUS_BUILDERS))
@@ -66,6 +84,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dispatchers", type=int, default=4)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--vocabulary", type=int, default=None)
+    _add_obs_flags(bench, default_stride=100)
+
+    trace = commands.add_parser(
+        "trace", help="run one instrumented join and show where time goes"
+    )
+    trace.add_argument("input", nargs="?", default=None,
+                       help="token file (omit to use a synthetic corpus)")
+    trace.add_argument("--corpus", default="AOL", choices=sorted(CORPUS_BUILDERS))
+    trace.add_argument("--records", type=int, default=500)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--similarity", default="jaccard",
+                       choices=["jaccard", "cosine", "dice", "overlap"])
+    trace.add_argument("--threshold", type=float, default=0.8)
+    trace.add_argument("--workers", type=int, default=4)
+    trace.add_argument("--distribution", default="length",
+                       choices=["length", "prefix", "broadcast"])
+    trace.add_argument("--dispatchers", type=int, default=1)
+    trace.add_argument("--rate", type=float, default=1000.0)
+    trace.add_argument("--top", type=int, default=5,
+                       help="slowest traces to break down")
+    trace.add_argument("--smoke", action="store_true",
+                       help="tiny end-to-end run; validate trace+metrics dumps")
+    _add_obs_flags(trace, default_stride=1)
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
     generate.add_argument("output", help="destination token file")
@@ -78,6 +119,60 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("input")
     stats.add_argument("--max-records", type=int, default=None)
     return parser
+
+
+def _add_obs_flags(command: argparse.ArgumentParser, default_stride: int) -> None:
+    command.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write sampled per-tuple spans as JSONL")
+    command.add_argument("--metrics-out", default=None, metavar="BASE",
+                         help="write the metrics registry to BASE.json "
+                              "and BASE.prom")
+    command.add_argument("--trace-stride", type=int, default=default_stride,
+                         help="trace every Nth record (deterministic; "
+                              f"default {default_stride})")
+    command.add_argument("--timeline", action="store_true",
+                         help="print the per-task busy/idle timeline")
+
+
+def _make_observer(args) -> Optional[RunObserver]:
+    """An observer matching the obs flags (None if nothing requested)."""
+    want_trace = args.trace_out is not None or getattr(args, "command", "") == "trace"
+    if want_trace and args.trace_stride < 1:
+        raise SystemExit(
+            f"{args.command}: --trace-stride must be >= 1 when tracing "
+            f"(got {args.trace_stride})"
+        )
+    if not (want_trace or args.timeline or args.metrics_out):
+        return None
+    return RunObserver.create(
+        trace_stride=args.trace_stride if want_trace else 0,
+        timeline=args.timeline or getattr(args, "command", "") == "trace",
+    )
+
+
+def _write_artifacts(observer, report, args, label: str = "") -> None:
+    """Write/print whatever the obs flags asked for."""
+    suffix = f".{label}" if label else ""
+    if args.trace_out and observer is not None and observer.tracer is not None:
+        path = _suffixed(args.trace_out, suffix)
+        lines = observer.tracer.write_jsonl(path)
+        print(f"trace: {lines} lines -> {path}")
+    if args.metrics_out:
+        base = _suffixed(args.metrics_out, suffix)
+        if observer is not None and observer.registry is not None:
+            paths = observer.write_metrics(base)
+        else:
+            paths = write_metrics(report.obs, base)
+        print(f"metrics: -> {', '.join(paths)}")
+    if args.timeline and observer is not None and observer.timeline is not None:
+        print(observer.timeline.render())
+
+
+def _suffixed(path: str, suffix: str) -> str:
+    if not suffix:
+        return path
+    root, ext = os.path.splitext(path)
+    return f"{root}{suffix}{ext}"
 
 
 def _cmd_join(args) -> int:
@@ -95,11 +190,13 @@ def _cmd_join(args) -> int:
         dispatcher_parallelism=args.dispatchers,
         collect_pairs=args.pairs,
     )
-    report = DistributedStreamJoin(config).run(stream)
+    observer = _make_observer(args)
+    report = DistributedStreamJoin(config).run(stream, observer=observer)
     print(format_table([report.summary()]))
     if args.pairs and report.pairs is not None:
         for later, earlier, similarity in sorted(report.pairs, key=lambda p: -p[2]):
             print(f"{similarity:.4f}\t{earlier}\t{later}")
+    _write_artifacts(observer, report, args)
     return 0
 
 
@@ -114,7 +211,10 @@ def _cmd_bench(args) -> int:
         threshold=args.threshold,
         dispatcher_parallelism=args.dispatchers,
     )
-    reports = run_methods(stream, configs)
+    observers = {label: _make_observer(args) for label in configs}
+    reports = run_methods(
+        stream, configs, observer_factory=lambda label: observers[label]
+    )
     rows = []
     for label, report in reports.items():
         row = report.summary()
@@ -122,6 +222,138 @@ def _cmd_bench(args) -> int:
         rows.append(row)
     print(format_table(rows, title=f"{args.corpus} n={args.records} "
                                    f"θ={args.threshold} k={args.workers}"))
+    for label, report in reports.items():
+        _write_artifacts(observers[label], report, args, label=label)
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.smoke:
+        return _trace_smoke(args)
+    if args.input is not None:
+        stream, _ = load_token_file(args.input, rate=args.rate)
+    else:
+        stream = CORPUS_BUILDERS[args.corpus](args.records, seed=args.seed)
+    config = JoinConfig(
+        similarity=args.similarity,
+        threshold=args.threshold,
+        num_workers=args.workers,
+        distribution=args.distribution,
+        dispatcher_parallelism=args.dispatchers,
+    )
+    observer = _make_observer(args)
+    report = DistributedStreamJoin(config).run(stream, observer=observer)
+    print(format_table([report.summary()],
+                       title=f"{stream.name} n={len(stream.corpus)} "
+                             f"θ={args.threshold} k={args.workers}"))
+
+    tracer = observer.tracer
+    print(f"\ntraced {len(tracer.traces())} records "
+          f"(stride {args.trace_stride}), {len(tracer.spans)} spans")
+    print(format_table(_hop_rows(tracer), title="\nper-hop breakdown"))
+    slow = _slowest_traces(tracer, args.top)
+    if slow:
+        print(format_table(slow, title=f"\nslowest {len(slow)} traces"))
+    print("\nbusy/idle timeline (cost-model charges over simulated time)")
+    print(observer.timeline.render())
+    _write_artifacts(observer, report, args)
+    return 0
+
+
+def _hop_rows(tracer) -> List[dict]:
+    """Aggregate spans into one row per (component, span name)."""
+    buckets: dict = {}
+    for span in tracer.spans:
+        key = (span.component, span.name)
+        entry = buckets.setdefault(key, {"n": 0, "queue": 0.0, "service": 0.0})
+        entry["n"] += 1
+        entry["queue"] += span.queue_wait
+        entry["service"] += span.service
+    rows = []
+    for (component, name), entry in sorted(buckets.items()):
+        rows.append({
+            "component": component,
+            "span": name,
+            "count": entry["n"],
+            "avg_queue_ms": round(entry["queue"] / entry["n"] * 1e3, 4),
+            "avg_service_ms": round(entry["service"] / entry["n"] * 1e3, 4),
+        })
+    return rows
+
+
+def _slowest_traces(tracer, top: int) -> List[dict]:
+    rows = []
+    for trace_id, spans in tracer.traces().items():
+        hops = [s for s in spans if s.name in ("emit", "hop")]
+        if not hops:
+            continue
+        total = max(s.end for s in hops) - min(s.enter for s in hops)
+        rows.append({
+            "trace": trace_id,
+            "latency_ms": round(total * 1e3, 4),
+            "queue_ms": round(sum(s.queue_wait for s in hops) * 1e3, 4),
+            "service_ms": round(sum(s.service for s in hops) * 1e3, 4),
+            "path": " > ".join(f"{s.component}[{s.task}]" for s in hops),
+        })
+    rows.sort(key=lambda r: (-r["latency_ms"], r["trace"]))
+    return rows[:top]
+
+
+def _trace_smoke(args) -> int:
+    """Tiny end-to-end run asserting the observability path works.
+
+    Deterministic given ``--seed``; exits non-zero with a reason when
+    the trace or metrics dump is empty, schema-invalid, or inconsistent
+    with the cluster report. CI runs this.
+    """
+    stream = CORPUS_BUILDERS[args.corpus](min(args.records, 150), seed=args.seed)
+    config = JoinConfig(
+        threshold=args.threshold,
+        num_workers=min(args.workers, 2),
+        distribution=args.distribution,
+    )
+    observer = RunObserver.create(trace_stride=1, timeline=True)
+    report = DistributedStreamJoin(config).run(stream, observer=observer)
+
+    failures: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
+        trace_path = args.trace_out or os.path.join(scratch, "smoke.trace.jsonl")
+        metrics_base = args.metrics_out or os.path.join(scratch, "smoke.metrics")
+        observer.write_trace(trace_path)
+        json_path, prom_path = observer.write_metrics(metrics_base)
+
+        rows = load_trace_jsonl(trace_path)
+        failures.extend(validate_trace_lines(rows))
+        spans = [row for row in rows if row.get("kind") == "span"]
+        seen_components = {row["component"] for row in spans}
+        for component in ("source", "dispatch", "join", "sink"):
+            if component not in seen_components:
+                failures.append(f"no span covers component {component!r}")
+
+        try:
+            dump = load_metrics_json(json_path)
+        except ValueError as error:
+            failures.append(str(error))
+            dump = None
+        if dump is not None and not dump.get("metrics"):
+            failures.append("metrics dump has no metric families")
+        prom_text = open(prom_path, encoding="utf-8").read()
+        if "# TYPE" not in prom_text:
+            failures.append("prometheus dump has no TYPE lines")
+
+        try:
+            verify_instrumented_headlines(report)
+        except AssertionError as error:
+            failures.append(str(error))
+
+    if failures:
+        for failure in failures:
+            print(f"smoke FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"smoke ok: {len(spans)} spans over {len(seen_components)} components, "
+          f"{len(dump['metrics'])} metric families, report consistent "
+          f"(seed {args.seed}, {report.cluster.records} records, "
+          f"{report.results} results)")
     return 0
 
 
@@ -145,6 +377,7 @@ def _cmd_stats(args) -> int:
 _COMMANDS = {
     "join": _cmd_join,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
 }

@@ -77,6 +77,9 @@ class DispatcherBolt(Bolt):
         index_set = set(decision.index_tasks)
         probe_set = set(decision.probe_tasks)
         ctx.add_counter("routing_fanout", len(index_set | probe_set))
+        ctx.trace_note(
+            router=self.router.name, fanout=len(index_set | probe_set)
+        )
         for task in sorted(index_set | probe_set):
             if task in index_set and task in probe_set:
                 kind = BOTH
@@ -177,12 +180,28 @@ class JoinBolt(Bolt):
             self._process(kind, record)
 
     def _process(self, kind: str, record: Record) -> None:
-        matches = self.engine.probe(record) if kind in (PROBE, BOTH) else []
+        ctx = self.ctx
+        if kind in (PROBE, BOTH):
+            # The probe phase is candidate generation + verification;
+            # its child span carries the verify counters so a trace
+            # shows where the hop's service time went.
+            before_candidates = self.meter.count("candidates")
+            before_verifications = self.meter.count("verifications")
+            with ctx.trace_child("probe_verify", only_for=record.rid) as notes:
+                matches = self.engine.probe(record)
+                notes["candidates"] = self.meter.count("candidates") - before_candidates
+                notes["verifications"] = (
+                    self.meter.count("verifications") - before_verifications
+                )
+                notes["matches"] = len(matches)
+        else:
+            matches = []
         if kind in (INDEX, BOTH):
-            if isinstance(self.engine, BundleIndex):
-                self.engine.insert(record, matches if kind == BOTH else None)
-            else:
-                self.engine.insert(record)
+            with ctx.trace_child("index", only_for=record.rid):
+                if isinstance(self.engine, BundleIndex):
+                    self.engine.insert(record, matches if kind == BOTH else None)
+                else:
+                    self.engine.insert(record)
         if kind in (PROBE, BOTH):
             # Queueing delay is visible here: ctx.now is when this probe
             # actually started processing, record.timestamp when it

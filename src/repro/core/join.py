@@ -7,6 +7,7 @@ from typing import List, Optional, Tuple
 
 from repro.core.bolts import DispatcherBolt, JoinBolt, RecordSpout, ResultSink
 from repro.core.config import JoinConfig
+from repro.obs.observer import RunObserver
 from repro.partition.cost import JoinCostEstimator
 from repro.partition.length_partition import (
     LengthPartition,
@@ -62,6 +63,11 @@ class JoinRunReport:
     def load_balance(self) -> float:
         """max/avg busy time across join workers (1.0 = perfect)."""
         return self.cluster.load_balance
+
+    @property
+    def obs(self):
+        """The run's exportable metrics registry."""
+        return self.cluster.obs
 
     @property
     def candidates(self) -> float:
@@ -131,8 +137,16 @@ class DistributedStreamJoin:
         return LengthRouter(partition, self.func), partition
 
     # -- execution -----------------------------------------------------------
-    def run(self, stream: RecordStream) -> JoinRunReport:
-        """Simulate the full topology over the stream; return the report."""
+    def run(
+        self, stream: RecordStream, observer: Optional[RunObserver] = None
+    ) -> JoinRunReport:
+        """Simulate the full topology over the stream; return the report.
+
+        ``observer`` switches on tuple tracing and/or the profiling
+        timeline for this run (see :mod:`repro.obs`); the run's metric
+        series are labeled with the method and the stream name either
+        way.
+        """
         config = self.config
         router, partition = self.plan(stream)
 
@@ -161,8 +175,14 @@ class DistributedStreamJoin:
             "join", "results"
         )
 
-        cluster = LocalCluster(cost=self.cost, network=self.network)
-        report = cluster.run(builder.build(), join_component="join")
+        cluster = LocalCluster(
+            cost=self.cost, network=self.network, observer=observer
+        )
+        report = cluster.run(
+            builder.build(),
+            join_component="join",
+            labels={"method": config.method_label, "corpus": stream.name},
+        )
         pairs = sinks[0].pairs if (sinks and config.collect_pairs) else None
         return JoinRunReport(
             config=config, cluster=report, partition=partition, pairs=pairs

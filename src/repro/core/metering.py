@@ -6,7 +6,10 @@ inside a simulated Storm bolt. They report work through a
 :class:`WorkMeter`, which always accumulates local counts and — when
 bound to a :class:`~repro.storm.components.TopologyContext` — forwards
 costed operations to the simulator's clock and uncosted events to the
-metrics counters.
+metrics counters. Forwarded counts flow on into the run's labeled
+:class:`~repro.obs.registry.ObsRegistry` (as ``op:<operation>`` and
+event-name counter series with ``component``/``task`` labels), so the
+observability exports see exactly what the engines metered.
 """
 
 from __future__ import annotations

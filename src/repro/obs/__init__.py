@@ -1,0 +1,53 @@
+"""Observability: structured metrics, tuple tracing and profiling.
+
+This package is the measurement surface of the whole system. The
+simulator (``repro.storm``), the join bolts (``repro.core``) and the
+bench harness (``repro.bench``) all publish into it, and every
+experiment number is recomputable from its exports:
+
+* :mod:`repro.obs.registry` — named counters, gauges and histograms
+  with labeled dimensions (component, task, method, corpus);
+* :mod:`repro.obs.exporters` — JSON and Prometheus text dumps of a
+  registry, plus loaders for the dumped formats;
+* :mod:`repro.obs.tracing` — sampled per-tuple spans across every
+  topology hop, written as JSONL;
+* :mod:`repro.obs.timeline` — per-task busy/idle timelines over
+  simulated time, rendered as bucketed utilisation series;
+* :mod:`repro.obs.observer` — the bundle handed to a cluster run to
+  switch any of the above on.
+"""
+
+from repro.obs.exporters import (
+    load_metrics_json,
+    metrics_to_json,
+    metrics_to_prometheus,
+    write_metrics,
+)
+from repro.obs.observer import RunObserver
+from repro.obs.registry import Counter, Gauge, Histogram, ObsRegistry
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.tracing import (
+    TRACE_SCHEMA,
+    TraceSampler,
+    TupleTracer,
+    load_trace_jsonl,
+    validate_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "ObsRegistry",
+    "RunObserver",
+    "TimelineRecorder",
+    "TraceSampler",
+    "TupleTracer",
+    "TRACE_SCHEMA",
+    "load_metrics_json",
+    "load_trace_jsonl",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "validate_span",
+    "write_metrics",
+]

@@ -1,0 +1,188 @@
+"""Exporters: dump an :class:`~repro.obs.registry.ObsRegistry` as JSON
+or Prometheus text exposition format, and load the JSON dump back.
+
+The JSON dump is the machine-readable archive every experiment number
+can be recomputed from; the Prometheus dump is what a scrape endpoint
+would serve in a production deployment. Both are deterministic: the
+same run produces byte-identical dumps.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Dict, List, Optional
+
+from repro.obs.registry import Histogram, ObsRegistry
+
+SCHEMA_VERSION = 1
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def metrics_to_json(
+    registry: ObsRegistry, extra: Optional[Dict[str, object]] = None
+) -> Dict[str, object]:
+    """The registry as a plain JSON-serialisable dict.
+
+    Layout::
+
+        {"schema": 1,
+         "labels": {"method": "LEN", ...},        # constant labels
+         "metrics": {
+           "task_busy_seconds": {
+             "kind": "gauge", "help": "...",
+             "series": [{"labels": {...}, "value": 1.25}, ...]},
+           "latency_seconds": {
+             "kind": "histogram", "help": "...",
+             "series": [{"labels": {...}, "count": ..., "p95": ...}]}}}
+
+    ``extra`` merges additional top-level sections (e.g. a timeline).
+    """
+    metrics: Dict[str, object] = {}
+    for family in registry.families():
+        series_rows: List[Dict[str, object]] = []
+        for label_key, metric in family.items():
+            row: Dict[str, object] = {"labels": dict(label_key)}
+            if isinstance(metric, Histogram):
+                row.update(_finite(metric.summary()))
+            else:
+                row["value"] = _finite_value(metric.value)
+            series_rows.append(row)
+        metrics[family.name] = {
+            "kind": family.kind,
+            "help": family.help,
+            "series": series_rows,
+        }
+    dump: Dict[str, object] = {
+        "schema": SCHEMA_VERSION,
+        "labels": dict(registry.const_labels),
+        "metrics": metrics,
+    }
+    if extra:
+        dump.update(extra)
+    return dump
+
+
+def metrics_to_prometheus(registry: ObsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4).
+
+    Histograms are exported as summaries (``_count``/``_sum`` plus
+    ``quantile`` series) — the reservoir keeps quantiles, not
+    cumulative buckets.
+    """
+    lines: List[str] = []
+    for family in registry.families():
+        name = prometheus_name(family.name)
+        kind = "summary" if family.kind == "histogram" else family.kind
+        if family.help:
+            lines.append(f"# HELP {name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {name} {kind}")
+        for label_key, metric in family.items():
+            labels = dict(label_key)
+            if isinstance(metric, Histogram):
+                summary = metric.summary()
+                for q in ("0.5", "0.95", "0.99"):
+                    quantile = metric.quantile(float(q))
+                    lines.append(
+                        _sample(name, {**labels, "quantile": q}, quantile)
+                    )
+                lines.append(_sample(name + "_count", labels, summary["count"]))
+                lines.append(_sample(name + "_sum", labels, summary["sum"]))
+            else:
+                lines.append(_sample(name, labels, metric.value))
+    return "\n".join(lines) + "\n"
+
+
+def write_metrics(
+    registry: ObsRegistry,
+    base_path: str,
+    extra: Optional[Dict[str, object]] = None,
+) -> List[str]:
+    """Write both formats next to each other; return the paths.
+
+    ``base_path`` may end in ``.json`` or ``.prom`` (the suffix is
+    stripped); the dump lands in ``<base>.json`` and ``<base>.prom``.
+    """
+    base = re.sub(r"\.(json|prom|txt)$", "", base_path)
+    json_path, prom_path = base + ".json", base + ".prom"
+    with open(json_path, "w", encoding="utf-8") as handle:
+        json.dump(metrics_to_json(registry, extra=extra), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    with open(prom_path, "w", encoding="utf-8") as handle:
+        handle.write(metrics_to_prometheus(registry))
+    return [json_path, prom_path]
+
+
+def load_metrics_json(path: str) -> Dict[str, object]:
+    """Load a dump written by :func:`write_metrics` (schema-checked)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        dump = json.load(handle)
+    if not isinstance(dump, dict) or "metrics" not in dump:
+        raise ValueError(f"{path}: not a metrics dump (missing 'metrics')")
+    if dump.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: unsupported metrics schema {dump.get('schema')!r}"
+        )
+    return dump
+
+
+def metric_series(dump: Dict[str, object], name: str) -> List[Dict[str, object]]:
+    """The series rows of one metric family in a loaded JSON dump."""
+    family = dump.get("metrics", {}).get(name)  # type: ignore[union-attr]
+    if not family:
+        return []
+    return list(family.get("series", []))
+
+
+def prometheus_name(name: str) -> str:
+    """Sanitise a metric name for Prometheus (``op:x`` → ``op_x``...).
+
+    Colons are legal in the exposition format but reserved for
+    recording rules, so they are folded to underscores too.
+    """
+    candidate = _NAME_BAD_CHARS.sub("_", name).replace(":", "_")
+    if not candidate or not _NAME_OK.match(candidate) or candidate[0].isdigit():
+        candidate = "_" + candidate
+    return candidate
+
+
+def _sample(name: str, labels: Dict[str, str], value: float) -> str:
+    if labels:
+        body = ",".join(
+            f'{prometheus_name(k)}="{_escape_label(v)}"'
+            for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{body}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _finite_value(value: float) -> object:
+    """JSON has no Infinity; encode non-finite floats as strings."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)
+    return value
+
+
+def _finite(mapping: Dict[str, float]) -> Dict[str, object]:
+    return {key: _finite_value(value) for key, value in mapping.items()}

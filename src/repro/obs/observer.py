@@ -1,0 +1,74 @@
+"""The observer: everything one cluster run should capture.
+
+A :class:`RunObserver` bundles the optional instruments — tuple tracer
+and profiling timeline — and, after the run, holds the populated
+metrics registry, so callers write all artefacts from one handle::
+
+    observer = RunObserver.create(trace_stride=10, timeline=True)
+    report = DistributedStreamJoin(config).run(stream, observer=observer)
+    observer.write_trace("run.trace.jsonl")
+    observer.write_metrics("run.metrics")     # .json + .prom
+
+The metrics registry itself is always on (it lives inside the storm
+:class:`~repro.storm.metrics.MetricsRegistry`); the observer only adds
+the per-tuple instruments that cost memory proportional to the run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.obs.exporters import write_metrics
+from repro.obs.registry import ObsRegistry
+from repro.obs.timeline import TimelineRecorder
+from repro.obs.tracing import TraceSampler, TupleTracer, default_trace_key
+
+
+class RunObserver:
+    """Instruments for one run, plus the run's registry afterwards."""
+
+    def __init__(
+        self,
+        tracer: Optional[TupleTracer] = None,
+        timeline: Optional[TimelineRecorder] = None,
+        trace_key: Callable[[str, Tuple[object, ...]], Optional[int]] = default_trace_key,
+    ):
+        self.tracer = tracer
+        self.timeline = timeline
+        self.trace_key = trace_key
+        #: Populated by the cluster when the run finishes.
+        self.registry: Optional[ObsRegistry] = None
+
+    @classmethod
+    def create(
+        cls, trace_stride: int = 0, timeline: bool = False
+    ) -> "RunObserver":
+        """Convenience constructor from CLI-style options.
+
+        ``trace_stride=0`` disables tracing; ``trace_stride=k`` traces
+        every *k*-th record deterministically.
+        """
+        tracer = TupleTracer(TraceSampler(trace_stride)) if trace_stride else None
+        recorder = TimelineRecorder() if timeline else None
+        return cls(tracer=tracer, timeline=recorder)
+
+    # -- cluster hooks ------------------------------------------------------
+    def attach(self, registry: ObsRegistry, topology_meta: Dict[str, object]) -> None:
+        """Called by the cluster at run start."""
+        self.registry = registry
+        if self.tracer is not None:
+            self.tracer.header.update(topology_meta)
+
+    # -- artefacts ----------------------------------------------------------
+    def write_trace(self, path: str) -> int:
+        if self.tracer is None:
+            raise ValueError("run was not traced (trace_stride=0)")
+        return self.tracer.write_jsonl(path)
+
+    def write_metrics(self, base_path: str, timeline_buckets: int = 60) -> List[str]:
+        if self.registry is None:
+            raise ValueError("observer has no registry; run a topology first")
+        extra: Dict[str, object] = {}
+        if self.timeline is not None:
+            extra["timeline"] = self.timeline.as_dict(timeline_buckets)
+        return write_metrics(self.registry, base_path, extra=extra or None)

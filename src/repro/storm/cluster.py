@@ -26,6 +26,7 @@ import time
 from bisect import bisect_right
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
+from repro.obs.observer import RunObserver
 from repro.storm.components import Bolt, OutputCollector, Spout, TopologyContext
 from repro.storm.costmodel import CostModel, NetworkModel
 from repro.storm.metrics import ClusterReport, MetricsRegistry, build_report
@@ -69,6 +70,10 @@ class LocalCluster:
     max_events:
         Safety valve against runaway topologies (events processed beyond
         this raise ``RuntimeError``).
+    observer:
+        Optional :class:`~repro.obs.observer.RunObserver` switching on
+        tuple tracing and/or the busy/idle timeline for this cluster's
+        runs; the run's metrics registry is attached to it at start.
     """
 
     def __init__(
@@ -76,15 +81,38 @@ class LocalCluster:
         cost: Optional[CostModel] = None,
         network: Optional[NetworkModel] = None,
         max_events: int = 200_000_000,
+        observer: Optional[RunObserver] = None,
     ):
         self.cost = cost if cost is not None else CostModel()
         self.network = network if network is not None else NetworkModel()
         self.max_events = max_events
+        self.observer = observer
+        self._tracer = observer.tracer if observer is not None else None
+        self._timeline = observer.timeline if observer is not None else None
+        self._trace_key = observer.trace_key if observer is not None else None
 
-    def run(self, topology: Topology, join_component: str = "join") -> ClusterReport:
-        """Execute the topology until every event drains; return the report."""
+    def run(
+        self,
+        topology: Topology,
+        join_component: str = "join",
+        labels: Optional[Dict[str, str]] = None,
+    ) -> ClusterReport:
+        """Execute the topology until every event drains; return the report.
+
+        ``labels`` (method, corpus, …) are stamped on every series of
+        the run's exportable metrics registry.
+        """
         wall_start = time.perf_counter()
-        registry = MetricsRegistry()
+        registry = MetricsRegistry(labels=labels)
+        if self.observer is not None:
+            self.observer.attach(
+                registry.obs,
+                {
+                    "topology": topology.describe(),
+                    "join_component": join_component,
+                    "labels": dict(labels or {}),
+                },
+            )
         executors = self._build_executors(topology, registry)
 
         heap: List[Tuple[float, int, int, Any]] = []
@@ -124,6 +152,13 @@ class LocalCluster:
                     first_source = when
                 last_time = max(last_time, when)
                 tup = StormTuple(stream, values, name, 0, when)
+                if self._tracer is not None:
+                    trace_id = self._trace_key(stream, values)
+                    if self._tracer.sampled(trace_id):
+                        self._tracer.hop(
+                            trace_id, name, 0, stream,
+                            enter=when, start=when, end=when, name="emit",
+                        )
                 seq = self._route(topology, executors, registry, heap, seq, tup, None)
                 nxt = next(spout_iters[name], None)
                 if nxt is not None:
@@ -218,12 +253,20 @@ class LocalCluster:
         if queue_depth > metrics.peak_queue:
             metrics.peak_queue = queue_depth
 
+        trace_id: Optional[int] = None
+        if self._tracer is not None:
+            candidate = self._trace_key(tup.stream, tup.values)
+            if self._tracer.sampled(candidate):
+                trace_id = candidate
+
         start = max(deliver_time, executor.busy_until)
         executor.ctx.now = start
         executor.ctx.pending_units = (
             self.cost.tuple_overhead
             + self.cost.tuple_per_byte * payload_bytes(tup.values)
         )
+        if trace_id is not None:
+            executor.ctx._begin_trace(self._tracer, trace_id, tup.stream)
         executor.instance.execute(tup)
         emit_units = 0.0
         for _stream, values, _direct in executor.collector.pending:
@@ -234,6 +277,20 @@ class LocalCluster:
         end = start + duration
         executor.busy_until = end
         executor.end_times.append(end)
+        if trace_id is not None:
+            notes = executor.ctx._end_trace()
+            self._tracer.hop(
+                trace_id,
+                executor.key[0],
+                executor.key[1],
+                tup.stream,
+                enter=deliver_time,
+                start=start,
+                end=end,
+                notes=notes,
+            )
+        if self._timeline is not None:
+            self._timeline.record(executor.key[0], executor.key[1], start, end)
 
         metrics.tuples_in += 1
         metrics.work_units += executor.ctx.pending_units

@@ -5,6 +5,13 @@ throughput (capacity and achieved), communication cost (messages and
 bytes), load balance (max/avg busy time across the join tasks), latency
 quantiles, and the algorithmic counters (candidates, verifications,
 results) behind the ablation experiments.
+
+Every registry also carries an :class:`repro.obs.registry.ObsRegistry`
+— the labeled, exportable view of the same numbers. Algorithmic
+counters and latency observations stream into it live; structural
+task/channel totals are synced by :func:`build_report`, which then
+publishes the run-level aggregates too, so a JSON/Prometheus dump of
+``registry.obs`` is sufficient to recompute every experiment headline.
 """
 
 from __future__ import annotations
@@ -13,6 +20,8 @@ import bisect
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.registry import Counter, ObsRegistry
 
 
 class LatencySampler:
@@ -62,7 +71,14 @@ class LatencySampler:
 
 @dataclass
 class TaskMetrics:
-    """Counters for one task (one executor) of one component."""
+    """Counters for one task (one executor) of one component.
+
+    Algorithmic counters double-publish: the local ``counters`` dict
+    feeds :func:`build_report`, and each name is also a labeled
+    counter in the run's :class:`~repro.obs.registry.ObsRegistry`
+    (labels ``component``/``task``), cached per name so the hot path
+    pays one dict lookup and one float add.
+    """
 
     component: str
     task_index: int
@@ -72,9 +88,21 @@ class TaskMetrics:
     busy_seconds: float = 0.0
     peak_queue: int = 0
     counters: Dict[str, float] = field(default_factory=dict)
+    obs: Optional[ObsRegistry] = field(default=None, repr=False, compare=False)
+    _obs_counters: Dict[str, Counter] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def add_counter(self, name: str, amount: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + amount
+        if self.obs is not None:
+            series = self._obs_counters.get(name)
+            if series is None:
+                series = self.obs.counter(
+                    name, component=self.component, task=self.task_index
+                )
+                self._obs_counters[name] = series
+            series.inc(amount)
 
     def counter(self, name: str) -> float:
         return self.counters.get(name, 0.0)
@@ -91,17 +119,36 @@ class ChannelMetrics:
 
 
 class MetricsRegistry:
-    """All metrics of one cluster run, keyed by task and channel."""
+    """All metrics of one cluster run, keyed by task and channel.
 
-    def __init__(self) -> None:
+    ``labels`` become constant labels (method, corpus, …) on every
+    series of the attached :class:`~repro.obs.registry.ObsRegistry`.
+    """
+
+    #: Reservoir size shared by the latency sampler and its obs twin,
+    #: so both report identical quantiles.
+    LATENCY_CAPACITY = 20000
+
+    def __init__(self, labels: Optional[Dict[str, str]] = None) -> None:
         self._tasks: Dict[Tuple[str, int], TaskMetrics] = {}
         self._channels: Dict[Tuple[str, str], ChannelMetrics] = {}
-        self.latency = LatencySampler()
+        self.latency = LatencySampler(self.LATENCY_CAPACITY)
+        self.obs = ObsRegistry(**(labels or {}))
+        self._obs_latency = self.obs.histogram(
+            "latency_seconds",
+            help="end-to-end record latency (arrival to probe completion)",
+            capacity=self.LATENCY_CAPACITY,
+        )
+
+    def observe_latency(self, seconds: float) -> None:
+        """Record one end-to-end latency sample (report + obs views)."""
+        self.latency.observe(seconds)
+        self._obs_latency.observe(seconds)
 
     def task(self, component: str, task_index: int) -> TaskMetrics:
         key = (component, task_index)
         if key not in self._tasks:
-            self._tasks[key] = TaskMetrics(component, task_index)
+            self._tasks[key] = TaskMetrics(component, task_index, obs=self.obs)
         return self._tasks[key]
 
     def channel(self, source: str, destination: str) -> ChannelMetrics:
@@ -122,6 +169,41 @@ class MetricsRegistry:
     def total_counter(self, name: str, component: Optional[str] = None) -> float:
         tasks = self.tasks_of(component) if component else self.all_tasks()
         return sum(t.counter(name) for t in tasks)
+
+    def sync_obs(self) -> ObsRegistry:
+        """Publish structural task/channel totals into the obs view.
+
+        Idempotent (gauges are set, channel counters reset to totals),
+        so re-building a report never double-counts. The algorithmic
+        counters and latency histogram stream in live and need no sync.
+        """
+        task_gauges = (
+            ("task_tuples_in", "tuples delivered to the task"),
+            ("task_tuples_out", "tuples the task emitted downstream"),
+            ("task_work_units", "cost-model work units charged"),
+            ("task_busy_seconds", "simulated seconds the task was busy"),
+            ("task_peak_queue", "peak input-queue depth observed"),
+        )
+        for task in self.all_tasks():
+            labels = {"component": task.component, "task": task.task_index}
+            values = (
+                task.tuples_in,
+                task.tuples_out,
+                task.work_units,
+                task.busy_seconds,
+                task.peak_queue,
+            )
+            for (name, help_text), value in zip(task_gauges, values):
+                self.obs.gauge(name, help=help_text, **labels).set(value)
+        for channel in self.all_channels():
+            labels = {"source": channel.source, "destination": channel.destination}
+            self.obs.counter(
+                "channel_messages", help="messages shipped on the edge", **labels
+            ).reset_to(channel.messages)
+            self.obs.counter(
+                "channel_bytes", help="payload bytes shipped on the edge", **labels
+            ).reset_to(channel.bytes)
+        return self.obs
 
 
 @dataclass
@@ -164,6 +246,8 @@ class ClusterReport:
     counters: Dict[str, float]
     per_task_busy: Dict[str, List[float]]
     wall_clock_seconds: float = 0.0
+    #: The run's exportable metrics view (set by :func:`build_report`).
+    obs: Optional[ObsRegistry] = field(default=None, repr=False, compare=False)
 
     @property
     def messages_per_record(self) -> float:
@@ -223,6 +307,35 @@ def build_report(
     for task in all_tasks:
         per_task_busy[task.component].append(task.busy_seconds)
 
+    obs = registry.sync_obs()
+    run_gauges = {
+        "run_records": (records, "source records fed into the topology"),
+        "run_results": (counters.get("results", 0), "similar pairs reported"),
+        "run_makespan_seconds": (makespan, "first arrival to last event"),
+        "run_capacity_throughput": (
+            capacity,
+            "records per second at the bottleneck (records / max task busy)",
+        ),
+        "run_achieved_throughput": (
+            records / makespan if makespan > 0 else float("inf"),
+            "records per second at the offered rate",
+        ),
+        "run_messages_total": (messages, "inter-task messages shipped"),
+        "run_bytes_total": (total_bytes, "inter-task payload bytes shipped"),
+        "run_load_balance": (
+            balance,
+            "max/avg busy seconds across the join tasks (1.0 = perfect)",
+        ),
+    }
+    for name, (value, help_text) in run_gauges.items():
+        obs.gauge(name, help=help_text).set(value)
+    obs.gauge(
+        "run_info",
+        help="run topology facts carried as labels",
+        join_component=join_component,
+        bottleneck=busiest.component if busiest else "",
+    ).set(1.0)
+
     return ClusterReport(
         records=records,
         results=int(counters.get("results", 0)),
@@ -240,4 +353,5 @@ def build_report(
         counters=dict(counters),
         per_task_busy=dict(per_task_busy),
         wall_clock_seconds=wall_clock_seconds,
+        obs=obs,
     )

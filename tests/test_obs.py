@@ -1,0 +1,461 @@
+"""The observability layer: registry, exporters, tracing, timelines,
+and the guarantee that every experiment headline is recomputable from
+the exported metrics alone."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import (
+    run_methods,
+    standard_configs,
+    verify_instrumented_headlines,
+)
+from repro.bench.report import headline_from_metrics
+from repro.core.config import JoinConfig
+from repro.core.join import DistributedStreamJoin
+from repro.datasets import synthetic_aol, synthetic_tweet
+from repro.obs import RunObserver, TimelineRecorder, TraceSampler, TupleTracer
+from repro.obs.exporters import (
+    load_metrics_json,
+    metric_series,
+    metrics_to_json,
+    metrics_to_prometheus,
+    prometheus_name,
+    write_metrics,
+)
+from repro.obs.registry import ObsRegistry
+from repro.obs.tracing import (
+    Span,
+    default_trace_key,
+    load_trace_jsonl,
+    validate_span,
+    validate_trace_lines,
+)
+from repro.records import Record
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+class TestObsRegistry:
+    def test_counter_gauge_histogram_basics(self):
+        reg = ObsRegistry()
+        reg.counter("msgs", component="a").inc()
+        reg.counter("msgs", component="a").inc(4)
+        reg.gauge("busy", component="a").set(2.5)
+        hist = reg.histogram("lat")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(value)
+        assert reg.value("msgs", component="a") == 5
+        assert reg.value("busy", component="a") == 2.5
+        assert hist.count == 4 and hist.sum == 10.0
+        assert hist.min == 1.0 and hist.max == 4.0
+        assert hist.quantile(0.5) == 3.0
+
+    def test_const_labels_stamped_on_every_series(self):
+        reg = ObsRegistry(method="LEN", corpus="AOL")
+        reg.counter("msgs", component="join").inc()
+        ((labels, _metric),) = reg.series("msgs")
+        assert labels == {"method": "LEN", "corpus": "AOL", "component": "join"}
+
+    def test_same_name_different_labels_are_distinct_series(self):
+        reg = ObsRegistry()
+        reg.counter("c", task=0).inc(1)
+        reg.counter("c", task=1).inc(2)
+        assert reg.value("c", task=0) == 1
+        assert reg.value("c", task=1) == 2
+        assert len(reg.series("c")) == 2
+
+    def test_kind_conflict_rejected(self):
+        reg = ObsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+
+    def test_counter_rejects_negative(self):
+        reg = ObsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("c").inc(-1)
+
+    def test_missing_series_reads_zero(self):
+        reg = ObsRegistry()
+        assert reg.value("nothing", anywhere="x") == 0.0
+        assert reg.series("nothing") == []
+
+    def test_families_sorted_by_name(self):
+        reg = ObsRegistry()
+        reg.counter("zeta")
+        reg.gauge("alpha")
+        assert [f.name for f in reg.families()] == ["alpha", "zeta"]
+
+
+# ---------------------------------------------------------------------------
+# Exporters
+# ---------------------------------------------------------------------------
+class TestExporters:
+    @pytest.fixture
+    def registry(self):
+        reg = ObsRegistry(method="LEN")
+        reg.counter("candidates", component="join", task=0).inc(7)
+        reg.gauge("task_busy_seconds", component="join", task=0).set(0.125)
+        hist = reg.histogram("latency_seconds")
+        for value in (0.1, 0.2, 0.3):
+            hist.observe(value)
+        return reg
+
+    def test_json_layout(self, registry):
+        dump = metrics_to_json(registry)
+        assert dump["schema"] == 1
+        assert dump["labels"] == {"method": "LEN"}
+        assert dump["metrics"]["candidates"]["kind"] == "counter"
+        ((row),) = dump["metrics"]["candidates"]["series"]
+        assert row["value"] == 7
+        ((lat),) = dump["metrics"]["latency_seconds"]["series"]
+        assert lat["count"] == 3 and lat["p50"] == 0.2
+
+    def test_json_is_serialisable_and_deterministic(self, registry):
+        a = json.dumps(metrics_to_json(registry), sort_keys=True)
+        b = json.dumps(metrics_to_json(registry), sort_keys=True)
+        assert a == b
+
+    def test_non_finite_values_survive_json(self):
+        reg = ObsRegistry()
+        reg.gauge("run_capacity_throughput").set(float("inf"))
+        dump = json.loads(json.dumps(metrics_to_json(reg)))
+        ((row),) = dump["metrics"]["run_capacity_throughput"]["series"]
+        assert float(row["value"]) == float("inf")
+
+    def test_prometheus_format(self, registry):
+        text = metrics_to_prometheus(registry)
+        assert "# TYPE candidates counter" in text
+        assert 'candidates{component="join",method="LEN",task="0"} 7' in text
+        assert "# TYPE latency_seconds summary" in text
+        assert "latency_seconds_count" in text
+        assert text.endswith("\n")
+
+    def test_prometheus_name_sanitisation(self):
+        assert prometheus_name("op:posting_scan") == "op_posting_scan"
+        assert prometheus_name("msgs/rec") == "msgs_rec"
+        assert prometheus_name("9lives").startswith("_")
+
+    def test_write_and_load_round_trip(self, registry, tmp_path):
+        base = str(tmp_path / "run.metrics")
+        json_path, prom_path = write_metrics(registry, base)
+        dump = load_metrics_json(json_path)
+        assert metric_series(dump, "candidates")[0]["value"] == 7
+        assert "# TYPE" in open(prom_path).read()
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"nope": 1}')
+        with pytest.raises(ValueError):
+            load_metrics_json(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Tracing primitives
+# ---------------------------------------------------------------------------
+class TestTracing:
+    def test_sampler_is_deterministic_stride(self):
+        sampler = TraceSampler(stride=10)
+        sampled = [rid for rid in range(100) if sampler.sampled(rid)]
+        assert sampled == list(range(0, 100, 10))
+        with pytest.raises(ValueError):
+            TraceSampler(0)
+
+    def test_default_trace_key(self):
+        record = Record(rid=42, tokens=(1, 2, 3), timestamp=0.5)
+        assert default_trace_key("records", (record,)) == 42
+        assert default_trace_key("work", ("b", record)) == 42
+        assert default_trace_key("results", (7, 2, 0.5, None)) == 7
+        assert default_trace_key("wm", (0, 99)) is None
+
+    def test_span_derived_fields(self):
+        span = Span(1, "hop", "join", 0, "work", 1.0, 1.5, 2.25)
+        assert span.queue_wait == 0.5
+        assert span.service == 0.75
+        row = span.as_dict()
+        assert validate_span(row) == []
+
+    def test_validate_span_catches_breakage(self):
+        good = Span(1, "hop", "join", 0, "work", 1.0, 1.5, 2.25).as_dict()
+        assert validate_span({**good, "enter": 3.0}) != []     # not monotone
+        assert validate_span({k: v for k, v in good.items() if k != "trace"})
+        assert validate_span({**good, "task": "zero"}) != []   # wrong type
+
+    def test_jsonl_round_trip_and_validation(self, tmp_path):
+        tracer = TupleTracer(TraceSampler(1))
+        tracer.hop(0, "source", 0, "records", 0.0, 0.0, 0.0, name="emit")
+        tracer.hop(0, "dispatch", 0, "records", 0.001, 0.001, 0.002)
+        tracer.hop(0, "join", 2, "work", 0.003, 0.003, 0.004, notes={"x": 1})
+        path = str(tmp_path / "t.jsonl")
+        assert tracer.write_jsonl(path) == 4  # header + 3 spans
+        rows = load_trace_jsonl(path)
+        assert rows[0]["kind"] == "header"
+        assert validate_trace_lines(rows) == []
+        assert rows[3]["notes"] == {"x": 1}
+
+    def test_validation_flags_backwards_trace(self):
+        tracer = TupleTracer()
+        tracer.hop(0, "a", 0, "s", 1.0, 1.0, 1.0)
+        tracer.hop(0, "b", 0, "s", 0.5, 0.5, 0.6)  # goes backwards
+        rows = [{"kind": "header"}] + [s.as_dict() for s in tracer.spans]
+        assert any("backwards" in e for e in validate_trace_lines(rows))
+
+    def test_empty_trace_is_invalid(self):
+        assert validate_trace_lines([]) != []
+        assert any("no spans" in e for e in validate_trace_lines([{"kind": "header"}]))
+
+
+# ---------------------------------------------------------------------------
+# Timeline
+# ---------------------------------------------------------------------------
+class TestTimeline:
+    def test_adjacent_intervals_merge(self):
+        recorder = TimelineRecorder()
+        recorder.record("join", 0, 0.0, 1.0)
+        recorder.record("join", 0, 1.0, 2.0)   # back-to-back: merges
+        recorder.record("join", 0, 3.0, 4.0)   # gap: new interval
+        assert recorder.intervals("join", 0) == [(0.0, 2.0), (3.0, 4.0)]
+        assert recorder.busy_seconds("join", 0) == 3.0
+        assert recorder.horizon == 4.0
+
+    def test_rejects_negative_interval(self):
+        recorder = TimelineRecorder()
+        with pytest.raises(ValueError):
+            recorder.record("join", 0, 2.0, 1.0)
+
+    def test_utilisation_buckets(self):
+        recorder = TimelineRecorder()
+        recorder.record("join", 0, 0.0, 1.0)
+        recorder.record("join", 1, 3.0, 4.0)
+        # Horizon 4.0, 4 buckets: task 0 busy in bucket 0, task 1 in 3.
+        assert recorder.utilisation("join", 0, 4) == [1.0, 0.0, 0.0, 0.0]
+        assert recorder.utilisation("join", 1, 4) == [0.0, 0.0, 0.0, 1.0]
+
+    def test_imbalance_series(self):
+        recorder = TimelineRecorder()
+        recorder.record("join", 0, 0.0, 2.0)
+        recorder.record("join", 1, 0.0, 1.0)
+        series = recorder.imbalance_series("join", 2)
+        # First half: both busy (balanced); second: only task 0.
+        assert series[0] == 1.0
+        assert series[1] == 2.0
+
+    def test_render_contains_every_task_row(self):
+        recorder = TimelineRecorder()
+        recorder.record("join", 0, 0.0, 1.0)
+        recorder.record("sink", 0, 0.5, 0.6)
+        art = recorder.render(width=20)
+        assert "join[0]" in art and "sink[0]" in art
+        assert recorder.render("nope") == "(no timeline data)"
+
+    def test_as_dict_is_json_serialisable(self):
+        recorder = TimelineRecorder()
+        recorder.record("join", 0, 0.0, 1.0)
+        digest = json.loads(json.dumps(recorder.as_dict(buckets=8)))
+        assert digest["tasks"][0]["component"] == "join"
+        assert len(digest["tasks"][0]["utilisation"]) == 8
+
+
+# ---------------------------------------------------------------------------
+# End-to-end: observer on a real topology run
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def traced_run():
+    observer = RunObserver.create(trace_stride=1, timeline=True)
+    config = JoinConfig(threshold=0.8, num_workers=4)
+    stream = synthetic_aol(400, seed=11)
+    report = DistributedStreamJoin(config).run(stream, observer=observer)
+    return observer, report
+
+
+class TestObservedRun:
+    def test_spans_cover_every_hop(self, traced_run):
+        observer, report = traced_run
+        spans = observer.tracer.spans
+        assert {s.component for s in spans} >= {"source", "dispatch", "join", "sink"}
+        # Every record got a source emit and a dispatch hop.
+        traces = observer.tracer.traces()
+        assert len(traces) == report.cluster.records
+        for spans_of_trace in traces.values():
+            names = [(s.component, s.name) for s in spans_of_trace]
+            assert ("source", "emit") in names
+            assert ("dispatch", "hop") in names
+            assert any(c == "join" for c, _ in names)
+
+    def test_trace_is_schema_valid_and_monotone(self, traced_run, tmp_path):
+        observer, _ = traced_run
+        path = str(tmp_path / "run.jsonl")
+        observer.write_trace(path)
+        assert validate_trace_lines(load_trace_jsonl(path)) == []
+
+    def test_join_hops_have_probe_child_spans_with_counts(self, traced_run):
+        observer, report = traced_run
+        children = [s for s in observer.tracer.spans if s.name == "probe_verify"]
+        assert children
+        assert sum(s.notes.get("candidates", 0) for s in children) == pytest.approx(
+            report.candidates
+        )
+        assert sum(s.notes.get("matches", 0) for s in children) == report.results
+
+    def test_dispatch_hops_note_router_and_fanout(self, traced_run):
+        observer, report = traced_run
+        dispatch = [
+            s for s in observer.tracer.spans
+            if s.component == "dispatch" and s.name == "hop"
+        ]
+        assert all(s.notes.get("router") == "length" for s in dispatch)
+        total_fanout = sum(s.notes.get("fanout", 0) for s in dispatch)
+        assert total_fanout == report.cluster.counter("routing_fanout")
+
+    def test_timeline_matches_task_busy_seconds(self, traced_run):
+        # Merged-interval sums regroup the same float additions, so the
+        # match is to rounding error, not bit-exact.
+        observer, report = traced_run
+        per_task = report.cluster.per_task_busy
+        for component, busies in per_task.items():
+            for index, busy in enumerate(busies):
+                assert observer.timeline.busy_seconds(component, index) == pytest.approx(
+                    busy, rel=1e-9
+                )
+
+    def test_tracing_is_deterministic(self):
+        def run():
+            observer = RunObserver.create(trace_stride=3)
+            config = JoinConfig(threshold=0.8, num_workers=3)
+            DistributedStreamJoin(config).run(
+                synthetic_aol(200, seed=5), observer=observer
+            )
+            return [s.as_dict() for s in observer.tracer.spans]
+
+        assert run() == run()
+
+    def test_sampling_stride_reduces_spans(self):
+        def spans_with(stride):
+            observer = RunObserver.create(trace_stride=stride)
+            config = JoinConfig(threshold=0.8, num_workers=2)
+            DistributedStreamJoin(config).run(
+                synthetic_aol(200, seed=5), observer=observer
+            )
+            return observer.tracer.spans
+
+        sampled = spans_with(10)
+        assert len(sampled) < len(spans_with(1)) / 5
+        assert all(s.trace % 10 == 0 for s in sampled)
+
+    def test_latency_histogram_matches_report_quantiles(self, traced_run):
+        _, report = traced_run
+        ((_, hist),) = report.obs.series("latency_seconds")
+        assert hist.quantile(0.95) == report.cluster.latency_p95
+        assert hist.quantile(0.50) == report.cluster.latency_p50
+
+
+# ---------------------------------------------------------------------------
+# Headline recomputation — the acceptance invariant
+# ---------------------------------------------------------------------------
+class TestHeadlinesFromMetrics:
+    def test_every_method_recomputes_exactly(self):
+        stream = synthetic_tweet(400, seed=3)
+        configs = standard_configs(num_workers=4)
+        reports = run_methods(stream, configs)
+        for label, report in reports.items():
+            recomputed = verify_instrumented_headlines(report)
+            assert recomputed["throughput"] == report.throughput, label
+            assert recomputed["load_balance"] == report.load_balance, label
+
+    def test_multi_dispatcher_run_recomputes_exactly(self):
+        config = JoinConfig(threshold=0.8, num_workers=4, dispatcher_parallelism=3)
+        report = DistributedStreamJoin(config).run(synthetic_aol(300, seed=9))
+        verify_instrumented_headlines(report)
+
+    def test_recompute_survives_json_round_trip(self, tmp_path):
+        config = JoinConfig(threshold=0.8, num_workers=4)
+        report = DistributedStreamJoin(config).run(synthetic_aol(300, seed=9))
+        json_path, _ = write_metrics(report.obs, str(tmp_path / "m"))
+        headlines = headline_from_metrics(load_metrics_json(json_path))
+        assert headlines["throughput"] == report.throughput
+        assert headlines["messages_per_record"] == report.messages_per_record
+        assert headlines["bytes_per_record"] == report.bytes_per_record
+        assert headlines["load_balance"] == report.load_balance
+
+    def test_cli_trace_command_prints_hops_and_writes_artifacts(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import main
+
+        trace_path = tmp_path / "run.trace.jsonl"
+        metrics_base = tmp_path / "run.metrics"
+        assert main([
+            "trace", "--corpus", "AOL", "--records", "120", "--seed", "6",
+            "--workers", "3", "--timeline",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_base),
+        ]) == 0
+        out = capsys.readouterr().out
+        for component in ("source", "dispatch", "join", "sink"):
+            assert component in out
+        assert "slowest" in out and "timeline" in out
+        rows = load_trace_jsonl(str(trace_path))
+        assert validate_trace_lines(rows) == []
+        load_metrics_json(str(metrics_base) + ".json")
+
+    def test_cli_rejects_non_positive_stride_when_tracing(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["trace", "--corpus", "AOL", "--records", "20",
+                  "--trace-stride", "0"])
+        corpus = tmp_path / "c.txt"
+        corpus.write_text("a b c\nx y z\n")
+        with pytest.raises(SystemExit):
+            main(["join", str(corpus), "--trace-out",
+                  str(tmp_path / "t.jsonl"), "--trace-stride", "-2"])
+
+    def test_cli_trace_smoke_gate(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--smoke", "--seed", "17"]) == 0
+        assert "smoke ok" in capsys.readouterr().out
+
+    def test_cli_join_flags_write_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        corpus = tmp_path / "c.txt"
+        corpus.write_text("a b c\na b c d\nx y z\na b c\n")
+        assert main([
+            "join", str(corpus), "--threshold", "0.7", "--workers", "2",
+            "--trace-out", str(tmp_path / "j.trace.jsonl"),
+            "--metrics-out", str(tmp_path / "j.metrics"),
+        ]) == 0
+        assert validate_trace_lines(
+            load_trace_jsonl(str(tmp_path / "j.trace.jsonl"))
+        ) == []
+        assert (tmp_path / "j.metrics.json").exists()
+        assert (tmp_path / "j.metrics.prom").exists()
+
+    def test_cli_bench_writes_per_method_metrics(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main([
+            "bench", "--corpus", "AOL", "--records", "200", "--workers", "2",
+            "--dispatchers", "1",
+            "--metrics-out", str(tmp_path / "b.metrics"),
+        ]) == 0
+        dumps = sorted(p.name for p in tmp_path.glob("b.*.metrics.json"))
+        assert len(dumps) >= 5  # one per method
+        # Each dump recomputes its own headline from its own labels.
+        for path in tmp_path.glob("b.*.metrics.json"):
+            dump = load_metrics_json(str(path))
+            headlines = headline_from_metrics(dump)
+            assert headlines["records"] == 200
+
+    def test_method_and_corpus_labels_on_series(self):
+        config = JoinConfig(threshold=0.8, num_workers=2, use_bundles=True,
+                            distribution="length", partitioning="load_aware")
+        stream = synthetic_aol(150, seed=1)
+        report = DistributedStreamJoin(config).run(stream)
+        ((labels, _),) = report.obs.series("run_records")
+        assert labels["method"] == config.method_label
+        assert labels["corpus"] == stream.name
