@@ -10,9 +10,12 @@ same instrumented path a production scrape would see.
 
 from __future__ import annotations
 
+import json
 from typing import Dict, List, Optional, Sequence
 
 from repro.obs.exporters import metric_series
+
+BENCH_SUMMARY_SCHEMA_VERSION = 1
 
 
 def format_table(
@@ -55,6 +58,42 @@ def format_series(
             row[name] = round(values[index], precision)
         rows.append(row)
     return format_table(rows, [x_label, *series], title=title)
+
+
+def bench_summary(reports: Dict[str, object], **meta: object) -> Dict[str, object]:
+    """Machine-readable digest of one bench invocation.
+
+    ``reports`` maps method label to a
+    :class:`~repro.core.join.JoinRunReport`; ``meta`` carries the bench
+    configuration (corpus, records, threshold, workers, seed, …). The
+    result is what ``python -m repro bench`` writes as
+    ``BENCH_summary.json`` — the numbers downstream dashboards and the
+    README table read.
+    """
+    methods: Dict[str, Dict[str, float]] = {}
+    for label in sorted(reports):
+        cluster = reports[label].cluster
+        methods[label] = {
+            "throughput": cluster.capacity_throughput,
+            "messages_per_record": cluster.messages_per_record,
+            "bytes_per_record": cluster.bytes_per_record,
+            "load_balance": cluster.load_balance,
+            "records": cluster.records,
+            "results": cluster.results,
+        }
+    return {
+        "schema": BENCH_SUMMARY_SCHEMA_VERSION,
+        **meta,
+        "methods": methods,
+    }
+
+
+def write_bench_summary(path: str, summary: Dict[str, object]) -> str:
+    """Write a :func:`bench_summary` dict deterministically."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(summary, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def headline_from_metrics(

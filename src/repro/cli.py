@@ -1,22 +1,35 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the workflows a downstream user needs:
+Seven commands cover the workflows a downstream user needs:
 
 ``join``
     Run the distributed streaming join over a token file (one record
     per line, whitespace-separated tokens); print the report and,
-    optionally, the similar pairs. ``--trace-out``/``--metrics-out``
-    dump the run's tuple trace (JSONL) and metrics (JSON + Prometheus).
+    optionally, the similar pairs. ``--trace-out``/``--metrics-out``/
+    ``--health-out`` dump the run's tuple trace (JSONL), metrics
+    (JSON + Prometheus) and online health events (JSONL).
 ``bench``
     Compare the method suite (BRD/PRE/LEN-U/LEN/LEN+BUN) on a synthetic
-    corpus and print the standard table; the same dump flags write one
-    artefact set per method.
+    corpus, print the standard table and write the machine-readable
+    ``BENCH_summary.json``; the same dump flags write one artefact set
+    per method. ``--write-baseline`` archives the suite's run
+    fingerprints; ``--check-baseline`` gates the run against one.
 ``trace``
     Run one instrumented join (synthetic corpus or token file) and
     show where tuples spend their time: per-hop latency breakdown and
     the per-task busy timeline. ``--smoke`` runs a tiny end-to-end
-    check that the trace and metrics dumps are non-empty, schema-valid
-    and consistent with the report — CI's observability gate.
+    check that the trace, metrics and health dumps are non-empty,
+    schema-valid and consistent with the report — CI's observability
+    gate.
+``diff``
+    Compare two run artefacts (metrics dumps or stored fingerprints)
+    under the regression-gate policy: exact on deterministic counters,
+    tolerance-banded and direction-aware on float headlines. Exits
+    non-zero on regression — CI's baseline gate.
+``explain``
+    Run two methods over the same stream and decompose the throughput
+    gap into replication, skew, filtering and verification
+    contributions that provably sum to the measured gap.
 ``generate``
     Write a synthetic corpus (AOL/TWEET/DBLP/ENRON-like) to a token
     file for use with ``join``.
@@ -27,6 +40,7 @@ Five commands cover the workflows a downstream user needs:
 from __future__ import annotations
 
 import argparse
+import json
 import math
 import os
 import sys
@@ -38,14 +52,26 @@ from repro.bench.harness import (
     standard_configs,
     verify_instrumented_headlines,
 )
-from repro.bench.report import format_table
+from repro.bench.report import bench_summary, format_table, write_bench_summary
 from repro.core.config import JoinConfig
 from repro.core.join import DistributedStreamJoin
 from repro.datasets.corpora import CORPUS_BUILDERS
 from repro.datasets.loader import load_token_file, save_token_file
 from repro.obs import RunObserver
-from repro.obs.exporters import load_metrics_json, write_metrics
+from repro.obs.attribution import attribute_gap, render_attribution
+from repro.obs.baseline import (
+    bench_fingerprint,
+    compare_loaded,
+    load_fingerprint,
+    render_verdict,
+    write_fingerprint,
+)
+from repro.obs.exporters import load_metrics_json, metrics_to_json, write_metrics
+from repro.obs.health import load_health_jsonl, validate_health_lines
 from repro.obs.tracing import load_trace_jsonl, validate_trace_lines
+from repro.storm.costmodel import CostModel
+
+METHOD_LABELS = ("BRD", "PRE", "LEN-U", "LEN", "LEN+BUN")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dispatchers", type=int, default=4)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--vocabulary", type=int, default=None)
+    bench.add_argument("--summary-out", default="BENCH_summary.json",
+                       metavar="PATH",
+                       help="machine-readable summary destination "
+                            "(default: BENCH_summary.json in the current "
+                            "directory; empty string disables)")
+    bench.add_argument("--write-baseline", default=None, metavar="PATH",
+                       help="archive the suite's run fingerprints as a "
+                            "baseline for `repro diff`")
+    bench.add_argument("--check-baseline", default=None, metavar="PATH",
+                       help="compare this run against a stored baseline; "
+                            "exit non-zero on regression")
+    bench.add_argument("--rel-tol", type=float, default=1e-6,
+                       help="relative tolerance for banded headline metrics "
+                            "(default 1e-6)")
     _add_obs_flags(bench, default_stride=100)
 
     trace = commands.add_parser(
@@ -107,6 +147,35 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="tiny end-to-end run; validate trace+metrics dumps")
     _add_obs_flags(trace, default_stride=1)
+
+    diff = commands.add_parser(
+        "diff", help="regression-gate two run artefacts (dumps or fingerprints)"
+    )
+    diff.add_argument("baseline",
+                      help="baseline: a metrics dump (.json) or a stored "
+                           "fingerprint / bench baseline")
+    diff.add_argument("current", help="current run artefact, same formats")
+    diff.add_argument("--rel-tol", type=float, default=1e-6,
+                      help="relative tolerance for banded headline metrics "
+                           "(default 1e-6)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the machine-readable verdict only")
+
+    explain = commands.add_parser(
+        "explain", help="attribute the throughput gap between two methods"
+    )
+    explain.add_argument("method_a", choices=METHOD_LABELS,
+                         help="baseline method (the slower side of the claim)")
+    explain.add_argument("method_b", choices=METHOD_LABELS,
+                         help="method whose advantage to explain")
+    explain.add_argument("--corpus", default="AOL", choices=sorted(CORPUS_BUILDERS))
+    explain.add_argument("--records", type=int, default=2000)
+    explain.add_argument("--seed", type=int, default=0)
+    explain.add_argument("--threshold", type=float, default=0.8)
+    explain.add_argument("--workers", type=int, default=8)
+    explain.add_argument("--dispatchers", type=int, default=1)
+    explain.add_argument("--json", action="store_true",
+                         help="print the attribution as JSON")
 
     generate = commands.add_parser("generate", help="write a synthetic corpus")
     generate.add_argument("output", help="destination token file")
@@ -132,6 +201,9 @@ def _add_obs_flags(command: argparse.ArgumentParser, default_stride: int) -> Non
                               f"default {default_stride})")
     command.add_argument("--timeline", action="store_true",
                          help="print the per-task busy/idle timeline")
+    command.add_argument("--health-out", default=None, metavar="PATH",
+                         help="run the online health detectors and write "
+                              "their events as JSONL")
 
 
 def _make_observer(args) -> Optional[RunObserver]:
@@ -142,11 +214,13 @@ def _make_observer(args) -> Optional[RunObserver]:
             f"{args.command}: --trace-stride must be >= 1 when tracing "
             f"(got {args.trace_stride})"
         )
-    if not (want_trace or args.timeline or args.metrics_out):
+    want_health = args.health_out is not None
+    if not (want_trace or args.timeline or args.metrics_out or want_health):
         return None
     return RunObserver.create(
         trace_stride=args.trace_stride if want_trace else 0,
         timeline=args.timeline or getattr(args, "command", "") == "trace",
+        health=want_health,
     )
 
 
@@ -164,6 +238,12 @@ def _write_artifacts(observer, report, args, label: str = "") -> None:
         else:
             paths = write_metrics(report.obs, base)
         print(f"metrics: -> {', '.join(paths)}")
+    if args.health_out and observer is not None and observer.health is not None:
+        path = _suffixed(args.health_out, suffix)
+        lines = observer.write_health(path)
+        print(f"health: {lines} lines -> {path}")
+        if observer.health.events:
+            print(observer.health.render())
     if args.timeline and observer is not None and observer.timeline is not None:
         print(observer.timeline.render())
 
@@ -224,6 +304,38 @@ def _cmd_bench(args) -> int:
                                    f"θ={args.threshold} k={args.workers}"))
     for label, report in reports.items():
         _write_artifacts(observers[label], report, args, label=label)
+
+    bench_config = {
+        "corpus": args.corpus,
+        "records": args.records,
+        "threshold": args.threshold,
+        "workers": args.workers,
+        "dispatchers": args.dispatchers,
+        "seed": args.seed,
+    }
+    if args.summary_out:
+        path = write_bench_summary(
+            args.summary_out, bench_summary(reports, **bench_config)
+        )
+        print(f"summary: -> {path}")
+    if args.write_baseline or args.check_baseline:
+        dumps = {
+            label: metrics_to_json(report.obs)
+            for label, report in reports.items()
+        }
+        current = bench_fingerprint(dumps, config=bench_config)
+        if args.write_baseline:
+            print(f"baseline: -> {write_fingerprint(args.write_baseline, current)}")
+        if args.check_baseline:
+            try:
+                baseline = load_fingerprint(args.check_baseline)
+                verdict = compare_loaded(baseline, current, rel_tol=args.rel_tol)
+            except ValueError as error:
+                print(f"bench: {error}", file=sys.stderr)
+                return 2
+            print(render_verdict(verdict))
+            if verdict["status"] != "ok":
+                return 1
     return 0
 
 
@@ -303,8 +415,8 @@ def _trace_smoke(args) -> int:
     """Tiny end-to-end run asserting the observability path works.
 
     Deterministic given ``--seed``; exits non-zero with a reason when
-    the trace or metrics dump is empty, schema-invalid, or inconsistent
-    with the cluster report. CI runs this.
+    the trace, metrics or health dump is empty, corrupt, schema-invalid,
+    or inconsistent with the cluster report. CI runs this.
     """
     stream = CORPUS_BUILDERS[args.corpus](min(args.records, 150), seed=args.seed)
     config = JoinConfig(
@@ -312,23 +424,38 @@ def _trace_smoke(args) -> int:
         num_workers=min(args.workers, 2),
         distribution=args.distribution,
     )
-    observer = RunObserver.create(trace_stride=1, timeline=True)
+    observer = RunObserver.create(trace_stride=1, timeline=True, health=True)
     report = DistributedStreamJoin(config).run(stream, observer=observer)
 
     failures: List[str] = []
     with tempfile.TemporaryDirectory(prefix="repro-smoke-") as scratch:
         trace_path = args.trace_out or os.path.join(scratch, "smoke.trace.jsonl")
         metrics_base = args.metrics_out or os.path.join(scratch, "smoke.metrics")
+        health_path = args.health_out or os.path.join(scratch, "smoke.health.jsonl")
         observer.write_trace(trace_path)
         json_path, prom_path = observer.write_metrics(metrics_base)
+        observer.write_health(health_path)
 
-        rows = load_trace_jsonl(trace_path)
-        failures.extend(validate_trace_lines(rows))
-        spans = [row for row in rows if row.get("kind") == "span"]
-        seen_components = {row["component"] for row in spans}
-        for component in ("source", "dispatch", "join", "sink"):
-            if component not in seen_components:
-                failures.append(f"no span covers component {component!r}")
+        spans: List[dict] = []
+        seen_components: set = set()
+        try:
+            rows = load_trace_jsonl(trace_path)
+        except ValueError as error:
+            failures.append(str(error))
+        else:
+            failures.extend(validate_trace_lines(rows))
+            spans = [row for row in rows if row.get("kind") == "span"]
+            seen_components = {row.get("component") for row in spans}
+            for component in ("source", "dispatch", "join", "sink"):
+                if component not in seen_components:
+                    failures.append(f"no span covers component {component!r}")
+
+        try:
+            health_rows = load_health_jsonl(health_path)
+        except ValueError as error:
+            failures.append(str(error))
+        else:
+            failures.extend(validate_health_lines(health_rows))
 
         try:
             dump = load_metrics_json(json_path)
@@ -350,10 +477,53 @@ def _trace_smoke(args) -> int:
         for failure in failures:
             print(f"smoke FAIL: {failure}", file=sys.stderr)
         return 1
+    health_counts = observer.health.counts()
     print(f"smoke ok: {len(spans)} spans over {len(seen_components)} components, "
-          f"{len(dump['metrics'])} metric families, report consistent "
+          f"{len(dump['metrics'])} metric families, "
+          f"{sum(health_counts.values())} health events, report consistent "
           f"(seed {args.seed}, {report.cluster.records} records, "
           f"{report.results} results)")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    try:
+        baseline = load_fingerprint(args.baseline)
+        current = load_fingerprint(args.current)
+        verdict = compare_loaded(baseline, current, rel_tol=args.rel_tol)
+    except (OSError, ValueError) as error:
+        print(f"diff: {error}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(verdict, indent=1, sort_keys=True))
+    else:
+        print(render_verdict(verdict))
+    return 0 if verdict["status"] == "ok" else 1
+
+
+def _cmd_explain(args) -> int:
+    if args.method_a == args.method_b:
+        print("explain: the two methods must differ", file=sys.stderr)
+        return 2
+    stream = CORPUS_BUILDERS[args.corpus](args.records, seed=args.seed)
+    configs = standard_configs(
+        num_workers=args.workers,
+        threshold=args.threshold,
+        dispatcher_parallelism=args.dispatchers,
+        include=[args.method_a, args.method_b],
+    )
+    reports = run_methods(stream, configs)
+    result = attribute_gap(
+        metrics_to_json(reports[args.method_a].obs),
+        metrics_to_json(reports[args.method_b].obs),
+        CostModel(),
+    )
+    if args.json:
+        print(json.dumps(result, indent=1, sort_keys=True))
+    else:
+        print(f"{args.corpus} n={args.records} θ={args.threshold} "
+              f"k={args.workers} seed={args.seed}")
+        print(render_attribution(result))
     return 0
 
 
@@ -378,6 +548,8 @@ _COMMANDS = {
     "join": _cmd_join,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "diff": _cmd_diff,
+    "explain": _cmd_explain,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
 }

@@ -76,10 +76,12 @@ class DispatcherBolt(Bolt):
         decision = self.router.route(record)
         index_set = set(decision.index_tasks)
         probe_set = set(decision.probe_tasks)
-        ctx.add_counter("routing_fanout", len(index_set | probe_set))
-        ctx.trace_note(
-            router=self.router.name, fanout=len(index_set | probe_set)
-        )
+        fanout = len(index_set | probe_set)
+        ctx.add_counter("routing_fanout", fanout)
+        ctx.trace_note(router=self.router.name, fanout=fanout)
+        # Health signal: what share of the join tasks this record
+        # reaches — the replication blow-up detector's input.
+        ctx.signal("routing_fanout_fraction", fanout / self.router.num_workers)
         for task in sorted(index_set | probe_set):
             if task in index_set and task in probe_set:
                 kind = BOTH

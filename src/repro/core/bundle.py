@@ -183,6 +183,14 @@ class BundleIndex:
                     self._live_postings -= 1
                     if bundle is not None:
                         self._retire(bundle)
+                        # Health signal: how long past the window the
+                        # dead bundle lingered (dead implies bounded
+                        # window; see _bundle_dead).
+                        meter.signal(
+                            "window_expiration_lag_fraction",
+                            (now - bundle.latest_timestamp - self.window.seconds)
+                            / self.window.seconds,
+                        )
                     continue
                 alive.append(entry)
                 if bid in seen:

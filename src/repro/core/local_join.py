@@ -141,6 +141,15 @@ class StreamingSetJoin:
                 if not self.window.alive(partner, now):
                     meter.charge("posting_expire")
                     self._live_postings -= 1
+                    # Health signal: how long past its window the dead
+                    # posting lingered before this scan collected it,
+                    # in units of the window length (alive() failing
+                    # implies the window is bounded).
+                    meter.signal(
+                        "window_expiration_lag_fraction",
+                        (now - partner.timestamp - self.window.seconds)
+                        / self.window.seconds,
+                    )
                     continue
                 alive.append(entry)
                 ls = partner.size

@@ -31,6 +31,8 @@ class WorkMeter:
         self._ctx = ctx
         self.operations: Dict[str, float] = defaultdict(float)
         self.events: Dict[str, float] = defaultdict(float)
+        #: Peak value seen per health-signal name (see :meth:`signal`).
+        self.signals: Dict[str, float] = {}
 
     def charge(self, operation: str, count: float = 1.0) -> None:
         """Report ``count`` costed operations (e.g. ``posting_scan``)."""
@@ -43,6 +45,19 @@ class WorkMeter:
         self.events[name] += count
         if self._ctx is not None:
             self._ctx.add_counter(name, count)
+
+    def signal(self, name: str, value: float) -> None:
+        """Report a health signal (e.g. ``window_expiration_lag_fraction``).
+
+        Signals are point observations, not totals: the meter keeps the
+        peak per name and — when bound to a context — forwards each
+        observation to the run's online health detectors.
+        """
+        current = self.signals.get(name)
+        if current is None or value > current:
+            self.signals[name] = value
+        if self._ctx is not None:
+            self._ctx.signal(name, value)
 
     def operation(self, name: str) -> float:
         return self.operations.get(name, 0.0)

@@ -13,15 +13,38 @@ experiment number is recomputable from its exports:
   topology hop, written as JSONL;
 * :mod:`repro.obs.timeline` — per-task busy/idle timelines over
   simulated time, rendered as bucketed utilisation series;
+* :mod:`repro.obs.health` — online health detectors (backpressure,
+  stragglers, routing blow-up, window-expiration lag) emitting
+  deterministic severity-tagged events during a run;
+* :mod:`repro.obs.baseline` — schema-versioned run fingerprints and
+  tolerance-banded comparison against a stored baseline (the
+  ``repro diff`` regression gate);
+* :mod:`repro.obs.attribution` — decomposition of the throughput gap
+  between two methods into per-cost-category contributions (the
+  ``repro explain`` command);
 * :mod:`repro.obs.observer` — the bundle handed to a cluster run to
   switch any of the above on.
 """
 
+from repro.obs.attribution import attribute_gap, busy_decomposition
+from repro.obs.baseline import (
+    compare_fingerprints,
+    fingerprint_from_metrics,
+    load_fingerprint,
+    write_fingerprint,
+)
 from repro.obs.exporters import (
     load_metrics_json,
     metrics_to_json,
     metrics_to_prometheus,
     write_metrics,
+)
+from repro.obs.health import (
+    HealthEvent,
+    HealthMonitor,
+    HealthThresholds,
+    load_health_jsonl,
+    validate_health_lines,
 )
 from repro.obs.observer import RunObserver
 from repro.obs.registry import Counter, Gauge, Histogram, ObsRegistry
@@ -37,6 +60,9 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "Gauge",
+    "HealthEvent",
+    "HealthMonitor",
+    "HealthThresholds",
     "Histogram",
     "ObsRegistry",
     "RunObserver",
@@ -44,10 +70,18 @@ __all__ = [
     "TraceSampler",
     "TupleTracer",
     "TRACE_SCHEMA",
+    "attribute_gap",
+    "busy_decomposition",
+    "compare_fingerprints",
+    "fingerprint_from_metrics",
+    "load_fingerprint",
+    "load_health_jsonl",
     "load_metrics_json",
     "load_trace_jsonl",
     "metrics_to_json",
     "metrics_to_prometheus",
+    "validate_health_lines",
     "validate_span",
+    "write_fingerprint",
     "write_metrics",
 ]

@@ -1,0 +1,227 @@
+"""Root-cause attribution: *why* one method out-throughputs another.
+
+``repro explain A B`` decomposes the capacity-throughput gap between
+two runs over the same stream into additive, named causes. The math is
+exact by construction, not a heuristic:
+
+Capacity throughput is ``T = R / B`` — records over the bottleneck
+task's busy seconds. Per run, ``B`` splits into categories that sum to
+``B`` exactly:
+
+* ``skew``         — ``B − mean(join busy)``: the penalty for the
+  bottleneck task being busier than the average join task (load
+  imbalance, or a non-join bottleneck);
+* ``filtering``    — candidate generation, priced from the ``op:*``
+  counters of the join tasks (index lookups, posting scans, lazy
+  expiration, candidate admission), averaged over the join tasks;
+* ``verification`` — merge verification and result bookkeeping
+  (token comparisons, result emits), likewise;
+* ``replication``  — the remainder of the average join task's busy
+  time: per-replica tuple/emit handling and index maintenance
+  (posting inserts, bundle upkeep). This is the part that grows with
+  the number of workers each record is routed to.
+
+With ``B_A = Σ b_cat,A`` and ``B_B = Σ b_cat,B``, the gap
+``T_B − T_A = R·(B_A − B_B)/(B_A·B_B)`` distributes over categories as
+``contribution_cat = (b_cat,A − b_cat,B) · R/(B_A·B_B)``, and the
+contributions sum to the observed gap to float round-off — the module
+refuses to return an attribution that does not.
+
+Inputs are plain metrics dumps (:func:`~repro.obs.exporters
+.metrics_to_json` dicts or loaded files), so the decomposition works on
+archived artefacts as well as fresh runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.exporters import metric_series
+
+#: Priced operation families per explicitly-computed category; the
+#: ``replication`` category is the residual and has no op list.
+CATEGORY_OPERATIONS: Dict[str, Tuple[str, ...]] = {
+    "filtering": (
+        "index_lookup",
+        "posting_scan",
+        "posting_expire",
+        "candidate_admit",
+    ),
+    "verification": ("token_compare", "result_emit"),
+}
+
+#: Reporting order; categories sum to the bottleneck busy seconds.
+CATEGORIES = ("replication", "skew", "filtering", "verification")
+
+#: Relative slack allowed between Σ contributions and the measured gap.
+SUM_CHECK_REL_TOL = 1e-9
+
+
+def busy_decomposition(
+    dump: Dict[str, object], cost, join_component: Optional[str] = None
+) -> Dict[str, float]:
+    """Split a run's bottleneck busy seconds into the categories.
+
+    ``cost`` is the run's :class:`~repro.storm.costmodel.CostModel`
+    (prices are not archived in the dump, so the caller must supply the
+    model the run used). Returns ``{category: seconds}`` summing to the
+    bottleneck task's ``task_busy_seconds`` exactly.
+    """
+    if join_component is None:
+        info = metric_series(dump, "run_info")
+        join_component = (
+            info[0]["labels"].get("join_component", "join") if info else "join"
+        )
+
+    busy: Dict[Tuple[str, int], float] = {}
+    for row in metric_series(dump, "task_busy_seconds"):
+        labels = row["labels"]
+        busy[(labels["component"], int(labels["task"]))] = float(row["value"])
+    if not busy:
+        raise ValueError("metrics dump has no task_busy_seconds series")
+    bottleneck = max(busy.values())
+
+    join_busy = [
+        value
+        for (component, _task), value in sorted(busy.items())
+        if component == join_component
+    ]
+    if not join_busy:
+        raise ValueError(f"no tasks for join component {join_component!r}")
+    num_join = len(join_busy)
+    mean_join = sum(join_busy) / num_join
+
+    decomposition: Dict[str, float] = {}
+    for category, operations in CATEGORY_OPERATIONS.items():
+        units = 0.0
+        for operation in operations:
+            for row in metric_series(dump, f"op:{operation}"):
+                if row["labels"].get("component") != join_component:
+                    continue
+                units += float(row["value"]) * getattr(cost, operation)
+        decomposition[category] = cost.seconds(units) / num_join
+    decomposition["skew"] = bottleneck - mean_join
+    decomposition["replication"] = (
+        mean_join - decomposition["filtering"] - decomposition["verification"]
+    )
+    return {category: decomposition[category] for category in CATEGORIES}
+
+
+def attribute_gap(
+    dump_a: Dict[str, object],
+    dump_b: Dict[str, object],
+    cost,
+) -> Dict[str, object]:
+    """Attribute the throughput gap ``T_B − T_A`` to the categories.
+
+    Both dumps must come from runs over the same stream (same record
+    count); the returned table's contributions sum to the measured gap
+    within :data:`SUM_CHECK_REL_TOL` or a ``ValueError`` is raised.
+    """
+    records_a = _gauge(dump_a, "run_records")
+    records_b = _gauge(dump_b, "run_records")
+    if records_a != records_b:
+        raise ValueError(
+            f"runs are not comparable: {records_a:g} vs {records_b:g} records"
+        )
+    records = records_a
+
+    split_a = busy_decomposition(dump_a, cost)
+    split_b = busy_decomposition(dump_b, cost)
+    bottleneck_a = sum(split_a[c] for c in CATEGORIES)
+    bottleneck_b = sum(split_b[c] for c in CATEGORIES)
+    if bottleneck_a <= 0 or bottleneck_b <= 0:
+        raise ValueError("bottleneck busy seconds must be positive")
+
+    throughput_a = records / bottleneck_a
+    throughput_b = records / bottleneck_b
+    gap = throughput_b - throughput_a
+    scale = records / (bottleneck_a * bottleneck_b)
+
+    categories: Dict[str, Dict[str, float]] = {}
+    total = 0.0
+    for category in CATEGORIES:
+        delta = split_a[category] - split_b[category]
+        contribution = delta * scale
+        total += contribution
+        categories[category] = {
+            "busy_a": split_a[category],
+            "busy_b": split_b[category],
+            "delta_busy": delta,
+            "throughput_contribution": contribution,
+            "share_of_gap": contribution / gap if gap != 0 else 0.0,
+        }
+
+    if abs(total - gap) > SUM_CHECK_REL_TOL * max(
+        abs(gap), abs(throughput_a), abs(throughput_b), 1.0
+    ):
+        raise ValueError(
+            f"attribution does not sum to the gap: {total!r} vs {gap!r}"
+        )
+
+    return {
+        "method_a": _method_label(dump_a),
+        "method_b": _method_label(dump_b),
+        "records": records,
+        "throughput_a": throughput_a,
+        "throughput_b": throughput_b,
+        "bottleneck_busy_a": bottleneck_a,
+        "bottleneck_busy_b": bottleneck_b,
+        "gap": gap,
+        "contribution_total": total,
+        "categories": categories,
+    }
+
+
+def render_attribution(result: Dict[str, object]) -> str:
+    """The attribution as an aligned plain-text table."""
+    a, b = result["method_a"], result["method_b"]
+    header = [
+        ("category", f"{a} busy s", f"{b} busy s", "Δbusy s", "rec/s", "share")
+    ]
+    rows: List[Tuple[str, ...]] = []
+    categories: Dict[str, Dict[str, float]] = result["categories"]  # type: ignore[assignment]
+    for category in CATEGORIES:
+        entry = categories[category]
+        rows.append((
+            category,
+            f"{entry['busy_a']:.6g}",
+            f"{entry['busy_b']:.6g}",
+            f"{entry['delta_busy']:+.6g}",
+            f"{entry['throughput_contribution']:+.6g}",
+            f"{entry['share_of_gap']:+.1%}",
+        ))
+    rows.append((
+        "total",
+        f"{result['bottleneck_busy_a']:.6g}",
+        f"{result['bottleneck_busy_b']:.6g}",
+        f"{result['bottleneck_busy_a'] - result['bottleneck_busy_b']:+.6g}",
+        f"{result['contribution_total']:+.6g}",
+        "+100.0%" if result["gap"] else "-",
+    ))
+    table = header + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(header[0]))]
+    lines = [
+        "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    summary = (
+        f"{b} vs {a}: {result['throughput_b']:.6g} vs "
+        f"{result['throughput_a']:.6g} rec/s "
+        f"(gap {result['gap']:+.6g} rec/s, "
+        f"x{result['throughput_b'] / result['throughput_a']:.2f})"
+    )
+    return summary + "\n" + "\n".join(lines)
+
+
+def _gauge(dump: Dict[str, object], name: str) -> float:
+    series = metric_series(dump, name)
+    if not series:
+        raise ValueError(f"metrics dump has no {name!r} gauge")
+    return float(series[0]["value"])
+
+
+def _method_label(dump: Dict[str, object]) -> str:
+    labels: Dict[str, str] = dump.get("labels", {})  # type: ignore[assignment]
+    return labels.get("method", "?")

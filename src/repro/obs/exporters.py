@@ -149,10 +149,22 @@ def prometheus_name(name: str) -> str:
     return candidate
 
 
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format.
+
+    Backslash first (so later escapes are not double-escaped), then
+    double quote and newline — the three characters the format reserves
+    inside quoted label values. Applied to *every* label value emitted,
+    including the constant ``method``/``corpus`` labels, so corpus names
+    with quotes or newlines cannot corrupt the dump.
+    """
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _sample(name: str, labels: Dict[str, str], value: float) -> str:
     if labels:
         body = ",".join(
-            f'{prometheus_name(k)}="{_escape_label(v)}"'
+            f'{prometheus_name(k)}="{escape_label_value(v)}"'
             for k, v in sorted(labels.items())
         )
         return f"{name}{{{body}}} {_format_value(value)}"
@@ -167,10 +179,6 @@ def _format_value(value: float) -> str:
     if float(value).is_integer() and abs(value) < 1e15:
         return str(int(value))
     return repr(float(value))
-
-
-def _escape_label(value: str) -> str:
-    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
 def _escape_help(text: str) -> str:

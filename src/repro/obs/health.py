@@ -1,0 +1,389 @@
+"""Online health detectors: severity-tagged events from a running cluster.
+
+PR 1 made runs *recordable*; this module makes them *interpretable*
+while they run. A :class:`HealthMonitor` sits on the cluster's hook
+points and watches for the failure modes a streaming join actually
+degrades through (SWOOP's diagnosis: index growth and skew over stream
+progress):
+
+* **queue growth / backpressure** — a task's input backlog crosses a
+  threshold and keeps doubling: the task cannot absorb its offered
+  rate (fed per delivery by :class:`repro.storm.cluster.LocalCluster`);
+* **straggler / load skew** — one task of a component carries far more
+  busy time than its siblings (fed at run end from the metrics
+  registry);
+* **routing fanout / replication blow-up** — records fan out to most
+  of the join tasks, so communication dominates (fed per record by the
+  dispatcher via ``ctx.signal``);
+* **window expiration lag** — lazily-expired postings linger far past
+  their window before a scan collects them, inflating index scans (fed
+  by the join engines via ``WorkMeter.signal``).
+
+Events are deterministic: they are emitted in the simulator's event
+order with simulated-clock timestamps, and each detector escalates on
+first crossings (plus doubling for queue depth) rather than per
+observation, so the event list is small and byte-identical across
+same-seed runs. The JSONL dump mirrors the trace format: a header
+line (``kind: "header"``) with the schema version and thresholds,
+then one ``kind: "event"`` object per line;
+:func:`validate_health_lines` checks the schema the smoke gate relies
+on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+HEALTH_SCHEMA_VERSION = 1
+
+SEVERITIES = ("info", "warning", "critical")
+
+#: Required fields of an event line and their types.
+HEALTH_SCHEMA: Dict[str, type] = {
+    "kind": str,        # "event"
+    "time": float,      # simulated seconds
+    "severity": str,    # "info" | "warning" | "critical"
+    "detector": str,    # "queue_growth" | "load_skew" | ...
+    "component": str,
+    "task": int,        # -1 for component-level events
+    "value": float,     # the observed quantity
+    "threshold": float, # the limit it crossed
+    "message": str,
+}
+
+TaskKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One detector firing at one simulated instant."""
+
+    time: float
+    severity: str
+    detector: str
+    component: str
+    task: int
+    value: float
+    threshold: float
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": "event",
+            "time": self.time,
+            "severity": self.severity,
+            "detector": self.detector,
+            "component": self.component,
+            "task": self.task,
+            "value": self.value,
+            "threshold": self.threshold,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class HealthThresholds:
+    """Trigger levels for every detector (see module doc).
+
+    Ratios are dimensionless: skew is max/avg busy time, fanout is the
+    fraction of join tasks a record reaches, expiration lag is in
+    units of the window length.
+    """
+
+    queue_warning: int = 64
+    queue_critical: int = 512
+    skew_warning: float = 1.5
+    skew_critical: float = 3.0
+    fanout_warning: float = 0.5
+    fanout_critical: float = 0.95
+    expiration_lag_warning: float = 0.5
+    expiration_lag_critical: float = 2.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queue_warning": self.queue_warning,
+            "queue_critical": self.queue_critical,
+            "skew_warning": self.skew_warning,
+            "skew_critical": self.skew_critical,
+            "fanout_warning": self.fanout_warning,
+            "fanout_critical": self.fanout_critical,
+            "expiration_lag_warning": self.expiration_lag_warning,
+            "expiration_lag_critical": self.expiration_lag_critical,
+        }
+
+
+@dataclass
+class _FanoutStats:
+    total: float = 0.0
+    count: int = 0
+    alerted: bool = False
+
+
+class HealthMonitor:
+    """Collects health events from the cluster's hook points.
+
+    The cluster feeds :meth:`on_queue_depth` per delivery and calls
+    :meth:`finalize` once at run end; bolts and engines feed
+    :meth:`on_signal` through ``ctx.signal`` / ``WorkMeter.signal``.
+    Every hook is O(1) with a dict lookup, so monitoring adds no
+    measurable cost to a run.
+    """
+
+    def __init__(self, thresholds: Optional[HealthThresholds] = None):
+        self.thresholds = thresholds if thresholds is not None else HealthThresholds()
+        self.events: List[HealthEvent] = []
+        #: Next queue depth that triggers an event, per task (doubling).
+        self._queue_next: Dict[TaskKey, int] = {}
+        self._fanout: Dict[TaskKey, _FanoutStats] = {}
+        #: Highest expiration-lag severity already reported, per task
+        #: (0 = none, 1 = warning, 2 = critical).
+        self._lag_level: Dict[TaskKey, int] = {}
+        self._finalized = False
+
+    # -- hook points ---------------------------------------------------------
+    def on_queue_depth(
+        self, component: str, task: int, time: float, depth: int
+    ) -> None:
+        """Cluster hook: backlog of a task at one delivery."""
+        key = (component, task)
+        trigger = self._queue_next.get(key, self.thresholds.queue_warning)
+        if depth < trigger:
+            return
+        severity = (
+            "critical" if depth >= self.thresholds.queue_critical else "warning"
+        )
+        self._emit(
+            time, severity, "queue_growth", component, task,
+            float(depth), float(trigger),
+            f"input backlog of {component}[{task}] reached {depth} tuples "
+            f"(threshold {trigger}): the task is falling behind its "
+            f"offered rate",
+        )
+        # Escalate on doubling so a growing backlog keeps reporting
+        # without flooding the event stream.
+        self._queue_next[key] = max(depth, trigger) * 2
+
+    def on_signal(
+        self, component: str, task: int, time: float, name: str, value: float
+    ) -> None:
+        """Bolt/engine hook: a named health signal (unknown names are
+        ignored, so components may emit forward-compatible signals)."""
+        if name == "routing_fanout_fraction":
+            self._on_fanout(component, task, time, value)
+        elif name == "window_expiration_lag_fraction":
+            self._on_expiration_lag(component, task, time, value)
+
+    def _on_fanout(
+        self, component: str, task: int, time: float, fraction: float
+    ) -> None:
+        stats = self._fanout.setdefault((component, task), _FanoutStats())
+        stats.total += fraction
+        stats.count += 1
+        if fraction >= self.thresholds.fanout_critical and not stats.alerted:
+            stats.alerted = True
+            self._emit(
+                time, "critical", "routing_fanout", component, task,
+                fraction, self.thresholds.fanout_critical,
+                f"record dispatched by {component}[{task}] replicated to "
+                f"{fraction:.0%} of the join tasks: routing degenerates "
+                f"to broadcast",
+            )
+
+    def _on_expiration_lag(
+        self, component: str, task: int, time: float, lag_fraction: float
+    ) -> None:
+        key = (component, task)
+        level = self._lag_level.get(key, 0)
+        if lag_fraction >= self.thresholds.expiration_lag_critical and level < 2:
+            self._lag_level[key] = 2
+            self._emit(
+                time, "critical", "expiration_lag", component, task,
+                lag_fraction, self.thresholds.expiration_lag_critical,
+                f"expired posting at {component}[{task}] lingered "
+                f"{lag_fraction:.2f} windows past its expiry before lazy "
+                f"collection: dead entries are inflating index scans",
+            )
+        elif lag_fraction >= self.thresholds.expiration_lag_warning and level < 1:
+            self._lag_level[key] = 1
+            self._emit(
+                time, "warning", "expiration_lag", component, task,
+                lag_fraction, self.thresholds.expiration_lag_warning,
+                f"expired posting at {component}[{task}] lingered "
+                f"{lag_fraction:.2f} windows past its expiry before lazy "
+                f"collection",
+            )
+
+    def finalize(self, registry, time: float, join_component: str = "join") -> None:
+        """Run-end detectors over the populated metrics registry.
+
+        ``registry`` is a :class:`repro.storm.metrics.MetricsRegistry`
+        (duck-typed: needs ``busy_by_component()`` and ``obs``).
+        Idempotent — a second call is a no-op, mirroring
+        ``sync_obs``.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        for (component, task), stats in sorted(self._fanout.items()):
+            if not stats.count:
+                continue
+            average = stats.total / stats.count
+            if average >= self.thresholds.fanout_warning:
+                self._emit(
+                    time, "warning", "routing_fanout", component, task,
+                    average, self.thresholds.fanout_warning,
+                    f"average routing fanout at {component}[{task}] is "
+                    f"{average:.0%} of the join tasks: replication "
+                    f"dominates communication cost",
+                )
+        for component, busy in sorted(registry.busy_by_component().items()):
+            if len(busy) < 2:
+                continue
+            average = sum(busy) / len(busy)
+            if average <= 0:
+                continue
+            peak = max(busy)
+            ratio = peak / average
+            straggler = busy.index(peak)
+            severity = None
+            threshold = self.thresholds.skew_warning
+            if ratio >= self.thresholds.skew_critical:
+                severity, threshold = "critical", self.thresholds.skew_critical
+            elif ratio >= self.thresholds.skew_warning:
+                severity = "warning"
+            if severity is not None:
+                self._emit(
+                    time, severity, "load_skew", component, straggler,
+                    ratio, threshold,
+                    f"{component}[{straggler}] carries {ratio:.2f}x the "
+                    f"average busy time of its component: straggler / "
+                    f"load skew bounds throughput",
+                )
+        counts = self.counts()
+        for severity in SEVERITIES:
+            registry.obs.gauge(
+                "health_events",
+                help="health events emitted by the run's online detectors",
+                severity=severity,
+            ).set(counts.get(severity, 0))
+
+    def _emit(
+        self,
+        time: float,
+        severity: str,
+        detector: str,
+        component: str,
+        task: int,
+        value: float,
+        threshold: float,
+        message: str,
+    ) -> None:
+        self.events.append(
+            HealthEvent(
+                time, severity, detector, component, task,
+                value, threshold, message,
+            )
+        )
+
+    # -- reading -------------------------------------------------------------
+    def counts(self) -> Dict[str, int]:
+        """Events per severity (absent severities omitted)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.severity] = totals.get(event.severity, 0) + 1
+        return totals
+
+    def worst_severity(self) -> Optional[str]:
+        worst = -1
+        for event in self.events:
+            worst = max(worst, SEVERITIES.index(event.severity))
+        return SEVERITIES[worst] if worst >= 0 else None
+
+    def render(self) -> str:
+        """Short plain-text digest for the CLI."""
+        if not self.events:
+            return "(no health events)"
+        lines = []
+        for event in self.events:
+            lines.append(
+                f"[{event.severity:>8}] t={event.time:.4f}s "
+                f"{event.detector}: {event.message}"
+            )
+        counts = self.counts()
+        summary = ", ".join(
+            f"{counts[s]} {s}" for s in SEVERITIES if s in counts
+        )
+        lines.append(f"{len(self.events)} events ({summary})")
+        return "\n".join(lines)
+
+    # -- artefacts -----------------------------------------------------------
+    def write_jsonl(self, path: str) -> int:
+        """Dump header + events, one JSON object per line; return #lines."""
+        with open(path, "w", encoding="utf-8") as handle:
+            header = {
+                "kind": "header",
+                "schema": HEALTH_SCHEMA_VERSION,
+                "thresholds": self.thresholds.as_dict(),
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for event in self.events:
+                handle.write(json.dumps(event.as_dict(), sort_keys=True) + "\n")
+        return 1 + len(self.events)
+
+
+def load_health_jsonl(path: str) -> List[Dict[str, object]]:
+    """All lines of a JSONL health dump as dicts (pointed errors)."""
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: corrupt health line ({error})"
+                ) from error
+            if not isinstance(row, dict):
+                raise ValueError(f"{path}:{number}: health line is not an object")
+            rows.append(row)
+    return rows
+
+
+def validate_health_lines(rows: Iterable[Dict[str, object]]) -> List[str]:
+    """Schema errors of a whole health dump (empty list = valid)."""
+    errors: List[str] = []
+    rows = list(rows)
+    if not rows:
+        return ["empty health file"]
+    if rows[0].get("kind") != "header":
+        errors.append("first line is not a header")
+    elif rows[0].get("schema") != HEALTH_SCHEMA_VERSION:
+        errors.append(f"unsupported health schema {rows[0].get('schema')!r}")
+    for index, row in enumerate(rows[1:]):
+        if row.get("kind") != "event":
+            errors.append(f"line {index + 1}: kind is not 'event'")
+            continue
+        for key, expected in HEALTH_SCHEMA.items():
+            if key not in row:
+                errors.append(f"event {index}: missing field {key!r}")
+                continue
+            value = row[key]
+            if expected is float:
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"event {index}: field {key!r} not numeric")
+            elif expected is int:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(f"event {index}: field {key!r} not an int")
+            elif not isinstance(value, expected):
+                errors.append(
+                    f"event {index}: field {key!r} not {expected.__name__}"
+                )
+        if row.get("severity") not in SEVERITIES:
+            errors.append(
+                f"event {index}: unknown severity {row.get('severity')!r}"
+            )
+    return errors

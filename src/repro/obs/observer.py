@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.obs.exporters import write_metrics
+from repro.obs.health import HealthMonitor
 from repro.obs.registry import ObsRegistry
 from repro.obs.timeline import TimelineRecorder
 from repro.obs.tracing import TraceSampler, TupleTracer, default_trace_key
@@ -32,25 +33,29 @@ class RunObserver:
         tracer: Optional[TupleTracer] = None,
         timeline: Optional[TimelineRecorder] = None,
         trace_key: Callable[[str, Tuple[object, ...]], Optional[int]] = default_trace_key,
+        health: Optional[HealthMonitor] = None,
     ):
         self.tracer = tracer
         self.timeline = timeline
         self.trace_key = trace_key
+        self.health = health
         #: Populated by the cluster when the run finishes.
         self.registry: Optional[ObsRegistry] = None
 
     @classmethod
     def create(
-        cls, trace_stride: int = 0, timeline: bool = False
+        cls, trace_stride: int = 0, timeline: bool = False, health: bool = False
     ) -> "RunObserver":
         """Convenience constructor from CLI-style options.
 
         ``trace_stride=0`` disables tracing; ``trace_stride=k`` traces
-        every *k*-th record deterministically.
+        every *k*-th record deterministically. ``health=True`` runs the
+        online health detectors alongside the topology.
         """
         tracer = TupleTracer(TraceSampler(trace_stride)) if trace_stride else None
         recorder = TimelineRecorder() if timeline else None
-        return cls(tracer=tracer, timeline=recorder)
+        monitor = HealthMonitor() if health else None
+        return cls(tracer=tracer, timeline=recorder, health=monitor)
 
     # -- cluster hooks ------------------------------------------------------
     def attach(self, registry: ObsRegistry, topology_meta: Dict[str, object]) -> None:
@@ -64,6 +69,11 @@ class RunObserver:
         if self.tracer is None:
             raise ValueError("run was not traced (trace_stride=0)")
         return self.tracer.write_jsonl(path)
+
+    def write_health(self, path: str) -> int:
+        if self.health is None:
+            raise ValueError("run had no health monitor (health=False)")
+        return self.health.write_jsonl(path)
 
     def write_metrics(self, base_path: str, timeline_buckets: int = 60) -> List[str]:
         if self.registry is None:

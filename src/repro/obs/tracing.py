@@ -233,11 +233,30 @@ def validate_trace_lines(rows: Iterable[Dict[str, object]]) -> List[str]:
 
 
 def load_trace_jsonl(path: str) -> List[Dict[str, object]]:
-    """All lines of a JSONL trace dump as dicts."""
+    """All lines of a JSONL trace dump as dicts.
+
+    A line that is not a JSON object (truncated write, corrupted file)
+    raises ``ValueError`` naming the file and line number, so callers —
+    the smoke gate in particular — can fail with a pointed message
+    instead of a raw traceback.
+    """
     rows: List[Dict[str, object]] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                rows.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt trace line "
+                    f"(not valid JSON: {error.msg}): {line[:80]!r}"
+                ) from error
+            if not isinstance(row, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: corrupt trace line "
+                    f"(expected a JSON object): {line[:80]!r}"
+                )
+            rows.append(row)
     return rows

@@ -90,6 +90,7 @@ class LocalCluster:
         self._tracer = observer.tracer if observer is not None else None
         self._timeline = observer.timeline if observer is not None else None
         self._trace_key = observer.trace_key if observer is not None else None
+        self._health = observer.health if observer is not None else None
 
     def run(
         self,
@@ -201,6 +202,10 @@ class LocalCluster:
             )
             last_time = max(last_time, end)
 
+        if self._health is not None:
+            self._health.finalize(
+                registry, last_time, join_component=join_component
+            )
         makespan = last_time - (first_source or 0.0)
         return build_report(
             registry,
@@ -225,6 +230,7 @@ class LocalCluster:
                     cost=self.cost,
                     metrics=registry.task(name, index),
                     registry=registry,
+                    health=self._health,
                 )
                 collector = OutputCollector()
                 instance = factory(index)
@@ -252,6 +258,10 @@ class LocalCluster:
         )
         if queue_depth > metrics.peak_queue:
             metrics.peak_queue = queue_depth
+        if self._health is not None:
+            self._health.on_queue_depth(
+                executor.key[0], executor.key[1], deliver_time, queue_depth
+            )
 
         trace_id: Optional[int] = None
         if self._tracer is not None:

@@ -36,6 +36,7 @@ class TopologyContext:
         cost: CostModel,
         metrics: TaskMetrics,
         registry: MetricsRegistry,
+        health=None,
     ):
         self.component = component
         self.task_index = task_index
@@ -43,6 +44,9 @@ class TopologyContext:
         self.cost = cost
         self.metrics = metrics
         self._registry = registry
+        #: Optional :class:`repro.obs.health.HealthMonitor` receiving
+        #: named signals from this task (None = monitoring off).
+        self._health = health
         #: Simulated time at which the current tuple's processing began.
         #: Maintained by the executor.
         self.now: float = 0.0
@@ -75,6 +79,18 @@ class TopologyContext:
     def observe_latency(self, seconds: float) -> None:
         """Record one end-to-end latency sample."""
         self._registry.observe_latency(seconds)
+
+    def signal(self, name: str, value: float) -> None:
+        """Report a named health signal (no-op without a monitor).
+
+        Stamped with this task's identity and the current simulated
+        time; see :class:`repro.obs.health.HealthMonitor` for the
+        signals the detectors understand.
+        """
+        if self._health is not None:
+            self._health.on_signal(
+                self.component, self.task_index, self.now, name, value
+            )
 
     @property
     def obs(self):

@@ -170,6 +170,19 @@ class MetricsRegistry:
         tasks = self.tasks_of(component) if component else self.all_tasks()
         return sum(t.counter(name) for t in tasks)
 
+    def busy_by_component(self) -> Dict[str, List[float]]:
+        """Busy seconds per task, grouped by component (task order).
+
+        The shared hook for everything that reasons about load shape:
+        :func:`build_report` (load balance, per-task busy lists) and
+        the :class:`repro.obs.health.HealthMonitor` straggler/skew
+        detector read the same grouping.
+        """
+        grouped: Dict[str, List[float]] = {}
+        for task in self.all_tasks():
+            grouped.setdefault(task.component, []).append(task.busy_seconds)
+        return grouped
+
     def sync_obs(self) -> ObsRegistry:
         """Publish structural task/channel totals into the obs view.
 
@@ -290,8 +303,8 @@ def build_report(
     max_busy = busiest.busy_seconds if busiest else 0.0
     capacity = records / max_busy if max_busy > 0 else float("inf")
 
-    join_tasks = registry.tasks_of(join_component)
-    join_busy = [t.busy_seconds for t in join_tasks]
+    per_task_busy = registry.busy_by_component()
+    join_busy = per_task_busy.get(join_component, [])
     avg_busy = sum(join_busy) / len(join_busy) if join_busy else 0.0
     balance = (max(join_busy) / avg_busy) if avg_busy > 0 else 1.0
 
@@ -302,10 +315,6 @@ def build_report(
     for task in all_tasks:
         for name, value in task.counters.items():
             counters[name] += value
-
-    per_task_busy: Dict[str, List[float]] = defaultdict(list)
-    for task in all_tasks:
-        per_task_busy[task.component].append(task.busy_seconds)
 
     obs = registry.sync_obs()
     run_gauges = {

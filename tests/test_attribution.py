@@ -1,0 +1,137 @@
+"""Throughput-gap attribution: exact decomposition, `repro explain`."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import run_methods, standard_configs
+from repro.core.join import DistributedStreamJoin
+from repro.datasets import synthetic_aol
+from repro.obs.attribution import (
+    CATEGORIES,
+    attribute_gap,
+    busy_decomposition,
+    render_attribution,
+)
+from repro.obs.exporters import metric_series, metrics_to_json
+from repro.storm.costmodel import CostModel
+
+
+@pytest.fixture(scope="module")
+def dumps():
+    stream = synthetic_aol(600, seed=20200420)
+    configs = standard_configs(num_workers=4, include=["PRE", "LEN"])
+    reports = run_methods(stream, configs)
+    return {
+        label: metrics_to_json(report.obs)
+        for label, report in reports.items()
+    }
+
+
+def _max_busy(dump):
+    return max(
+        float(row["value"])
+        for row in metric_series(dump, "task_busy_seconds"))
+
+
+class TestDecomposition:
+    def test_categories_sum_to_bottleneck_busy(self, dumps):
+        for dump in dumps.values():
+            split = busy_decomposition(dump, CostModel())
+            assert set(split) == set(CATEGORIES)
+            assert sum(split.values()) == pytest.approx(
+                _max_busy(dump), rel=1e-12)
+
+    def test_explicit_categories_are_nonnegative(self, dumps):
+        for dump in dumps.values():
+            split = busy_decomposition(dump, CostModel())
+            assert split["filtering"] > 0
+            assert split["verification"] > 0
+            assert split["skew"] >= 0
+            assert split["replication"] > 0
+
+    def test_missing_busy_series_rejected(self):
+        with pytest.raises(ValueError, match="task_busy_seconds"):
+            busy_decomposition({"metrics": {}}, CostModel())
+
+
+class TestAttribution:
+    def test_contributions_sum_to_measured_gap(self, dumps):
+        result = attribute_gap(dumps["PRE"], dumps["LEN"], CostModel())
+        records = 600.0
+        measured_gap = records / _max_busy(dumps["LEN"]) - \
+            records / _max_busy(dumps["PRE"])
+        total = sum(
+            entry["throughput_contribution"]
+            for entry in result["categories"].values())
+        scale = max(abs(measured_gap), result["throughput_a"],
+                    result["throughput_b"], 1.0)
+        assert abs(total - measured_gap) <= 1e-9 * scale
+        assert abs(result["gap"] - measured_gap) <= 1e-9 * scale
+        assert result["contribution_total"] == total
+
+    def test_shares_sum_to_one(self, dumps):
+        result = attribute_gap(dumps["PRE"], dumps["LEN"], CostModel())
+        shares = sum(
+            entry["share_of_gap"]
+            for entry in result["categories"].values())
+        assert shares == pytest.approx(1.0, rel=1e-9)
+
+    def test_method_labels_read_from_dumps(self, dumps):
+        result = attribute_gap(dumps["PRE"], dumps["LEN"], CostModel())
+        assert result["method_a"] == "PRE"
+        assert result["method_b"] == "LEN"
+        assert result["records"] == 600
+
+    def test_record_count_mismatch_rejected(self, dumps):
+        config = standard_configs(num_workers=4, include=["LEN"])["LEN"]
+        other = DistributedStreamJoin(config).run(
+            synthetic_aol(100, seed=20200420))
+        with pytest.raises(ValueError, match="not comparable"):
+            attribute_gap(dumps["PRE"], metrics_to_json(other.obs), CostModel())
+
+    def test_render_lists_every_category(self, dumps):
+        result = attribute_gap(dumps["PRE"], dumps["LEN"], CostModel())
+        text = render_attribution(result)
+        for category in CATEGORIES:
+            assert category in text
+        assert "total" in text
+        assert "LEN vs PRE" in text
+
+
+class TestExplainCli:
+    def test_explain_prints_attribution_table(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "PRE", "LEN", "--records", "400",
+                     "--workers", "4", "--seed", "20200420"]) == 0
+        out = capsys.readouterr().out
+        for category in CATEGORIES:
+            assert category in out
+        assert "LEN vs PRE" in out
+
+    def test_explain_json_sums_to_gap(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "PRE", "LEN", "--records", "400",
+                     "--workers", "4", "--seed", "20200420",
+                     "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        total = sum(
+            entry["throughput_contribution"]
+            for entry in result["categories"].values())
+        scale = max(abs(result["gap"]), result["throughput_a"],
+                    result["throughput_b"], 1.0)
+        assert abs(total - result["gap"]) <= 1e-9 * scale
+
+    def test_same_method_rejected(self, capsys):
+        from repro.cli import main
+
+        assert main(["explain", "LEN", "LEN"]) == 2
+        assert "must differ" in capsys.readouterr().err
+
+    def test_unknown_method_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["explain", "PRE", "NOPE"])

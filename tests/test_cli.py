@@ -1,5 +1,7 @@
 """CLI round-trips: generate → stats → join → bench."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -62,17 +64,26 @@ class TestJoin:
 
 
 class TestBench:
-    def test_bench_prints_method_table(self, capsys):
+    def test_bench_prints_method_table(self, capsys, tmp_path):
+        summary = tmp_path / "BENCH_summary.json"
         assert main(["bench", "--corpus", "AOL", "--records", "300",
-                     "--workers", "2", "--dispatchers", "1"]) == 0
+                     "--workers", "2", "--dispatchers", "1",
+                     "--summary-out", str(summary)]) == 0
         out = capsys.readouterr().out
         for label in ("BRD", "PRE", "LEN-U", "LEN", "LEN+BUN"):
             assert label in out
+        payload = json.loads(summary.read_text())
+        assert set(payload["methods"]) == {"BRD", "PRE", "LEN-U", "LEN", "LEN+BUN"}
+        for row in payload["methods"].values():
+            assert row["throughput"] > 0
+            assert row["records"] == 300
+        assert payload["seed"] == 0
 
-    def test_bench_vocabulary_override(self, capsys):
+    def test_bench_vocabulary_override(self, capsys, tmp_path):
         assert main(["bench", "--corpus", "TWEET", "--records", "200",
                      "--workers", "2", "--dispatchers", "1",
-                     "--vocabulary", "100"]) == 0
+                     "--vocabulary", "100",
+                     "--summary-out", str(tmp_path / "s.json")]) == 0
 
 
 class TestParser:

@@ -17,6 +17,7 @@ from repro.core.join import DistributedStreamJoin
 from repro.datasets import synthetic_aol, synthetic_tweet
 from repro.obs import RunObserver, TimelineRecorder, TraceSampler, TupleTracer
 from repro.obs.exporters import (
+    escape_label_value,
     load_metrics_json,
     metric_series,
     metrics_to_json,
@@ -442,7 +443,9 @@ class TestHeadlinesFromMetrics:
             "bench", "--corpus", "AOL", "--records", "200", "--workers", "2",
             "--dispatchers", "1",
             "--metrics-out", str(tmp_path / "b.metrics"),
+            "--summary-out", str(tmp_path / "BENCH_summary.json"),
         ]) == 0
+        assert (tmp_path / "BENCH_summary.json").exists()
         dumps = sorted(p.name for p in tmp_path.glob("b.*.metrics.json"))
         assert len(dumps) >= 5  # one per method
         # Each dump recomputes its own headline from its own labels.
@@ -459,3 +462,112 @@ class TestHeadlinesFromMetrics:
         ((labels, _),) = report.obs.series("run_records")
         assert labels["method"] == config.method_label
         assert labels["corpus"] == stream.name
+
+
+# ---------------------------------------------------------------------------
+# Prometheus label escaping
+# ---------------------------------------------------------------------------
+class TestPrometheusEscaping:
+    def test_backslash_quote_and_newline(self):
+        assert escape_label_value("plain") == "plain"
+        assert escape_label_value("a\\b") == "a\\\\b"
+        assert escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert escape_label_value("line\nbreak") == "line\\nbreak"
+
+    def test_backslash_escaped_before_quote(self):
+        # Order matters: escaping the quote first would double-escape
+        # the backslash the quote escape itself introduces.
+        assert escape_label_value('\\"') == '\\\\\\"'
+
+    def test_non_strings_coerced(self):
+        assert escape_label_value(3) == "3"
+
+    def test_dump_round_trips_hostile_label_values(self):
+        reg = ObsRegistry(corpus='we"ird\\co\nrp')
+        reg.counter("msgs", component="join").inc()
+        text = metrics_to_prometheus(reg)
+        assert 'corpus="we\\"ird\\\\co\\nrp"' in text
+        # Every sample line still has balanced (unescaped) quotes.
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                bare = line.replace("\\\\", "").replace('\\"', "")
+                assert bare.count('"') % 2 == 0
+
+
+# ---------------------------------------------------------------------------
+# trace --smoke failure paths
+# ---------------------------------------------------------------------------
+def _hop_line(trace, enter, start, end, component="join"):
+    return json.dumps({
+        "kind": "span", "trace": trace, "name": "hop",
+        "component": component, "task": 0, "stream": "work",
+        "enter": enter, "start": start, "end": end,
+    })
+
+
+def _fake_trace_writer(lines):
+    def write_trace(self, path):
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(line + "\n")
+        return len(lines)
+    return write_trace
+
+
+class TestSmokeFailurePaths:
+    """``trace --smoke`` must exit non-zero with a pointed message when
+    the trace dump is corrupt, truncated, or time-inconsistent."""
+
+    HEADER = json.dumps(
+        {"kind": "header", "schema": 1, "sampler": "stride", "stride": 1})
+
+    def _smoke(self, monkeypatch, capsys, lines):
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            RunObserver, "write_trace", _fake_trace_writer(lines))
+        code = main(["trace", "--smoke", "--records", "60", "--seed", "3"])
+        return code, capsys.readouterr().err
+
+    def test_corrupt_json_line(self, monkeypatch, capsys):
+        code, err = self._smoke(
+            monkeypatch, capsys, [self.HEADER, '{"kind": "span", trunca'])
+        assert code == 1
+        assert "smoke FAIL" in err
+        assert "corrupt trace line" in err
+
+    def test_header_only_trace(self, monkeypatch, capsys):
+        code, err = self._smoke(monkeypatch, capsys, [self.HEADER])
+        assert code == 1
+        assert "no spans in trace" in err
+
+    def test_empty_trace_file(self, monkeypatch, capsys):
+        code, err = self._smoke(monkeypatch, capsys, [])
+        assert code == 1
+        assert "empty trace file" in err
+
+    def test_non_monotone_trace_flagged(self, monkeypatch, capsys):
+        lines = [
+            self.HEADER,
+            _hop_line(0, 1.0, 1.0, 1.1),
+            _hop_line(0, 0.5, 0.5, 0.6),  # earlier than the previous hop
+        ]
+        code, err = self._smoke(monkeypatch, capsys, lines)
+        assert code == 1
+        assert "moved backwards" in err
+
+    def test_span_schema_violation_flagged(self, monkeypatch, capsys):
+        bad = json.dumps({
+            "kind": "span", "trace": 0, "name": "hop", "component": "join",
+            "task": 0, "stream": "work",
+            "enter": 2.0, "start": 1.0, "end": 3.0,  # start before enter
+        })
+        code, err = self._smoke(monkeypatch, capsys, [self.HEADER, bad])
+        assert code == 1
+        assert "timestamps not monotone" in err
+
+    def test_healthy_smoke_still_passes(self, capsys):
+        from repro.cli import main
+
+        assert main(["trace", "--smoke", "--records", "60", "--seed", "3"]) == 0
+        assert "smoke ok" in capsys.readouterr().out
