@@ -14,6 +14,10 @@ Seven commands cover the workflows a downstream user needs:
     ``BENCH_summary.json``; the same dump flags write one artefact set
     per method. ``--write-baseline`` archives the suite's run
     fingerprints; ``--check-baseline`` gates the run against one.
+    ``--wallclock`` instead runs the real-time microbenchmark suite
+    (columnar engine vs. reference engine, DESIGN §9) and writes
+    ``BENCH_wallclock.json``; it exits non-zero only on a cross-engine
+    correctness mismatch, never on timings.
 ``trace``
     Run one instrumented join (synthetic corpus or token file) and
     show where tuples spend their time: per-hop latency breakdown and
@@ -53,6 +57,12 @@ from repro.bench.harness import (
     verify_instrumented_headlines,
 )
 from repro.bench.report import bench_summary, format_table, write_bench_summary
+from repro.bench.wallclock import (
+    SEED as WALLCLOCK_SEED,
+    correctness_ok,
+    render_wallclock,
+    wallclock_suite,
+)
 from repro.core.config import JoinConfig
 from repro.core.join import DistributedStreamJoin
 from repro.datasets.corpora import CORPUS_BUILDERS
@@ -94,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--bundles", action="store_true")
     join.add_argument("--window", type=float, default=math.inf,
                       help="sliding window in seconds (default: unbounded)")
+    join.add_argument("--expiry", default="lazy", choices=["lazy", "eager"],
+                      help="window expiration strategy: lazy reclaims "
+                           "postings as probes touch them, eager evicts "
+                           "on arrival via an expiration heap "
+                           "(default: lazy)")
     join.add_argument("--rate", type=float, default=1000.0,
                       help="arrival rate, records/second")
     join.add_argument("--dispatchers", type=int, default=1)
@@ -124,6 +139,24 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--rel-tol", type=float, default=1e-6,
                        help="relative tolerance for banded headline metrics "
                             "(default 1e-6)")
+    bench.add_argument("--wallclock", action="store_true",
+                       help="run the wall-clock microbenchmark suite "
+                            "(columnar vs. reference engine) instead of "
+                            "the method comparison; exits non-zero only "
+                            "on a correctness mismatch")
+    bench.add_argument("--wallclock-out", default="BENCH_wallclock.json",
+                       metavar="PATH",
+                       help="wall-clock report destination (default: "
+                            "BENCH_wallclock.json; empty string disables)")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="wall-clock repeats per engine and phase; "
+                            "the best time is kept (default 3)")
+    bench.add_argument("--wallclock-scale", type=float, default=1.0,
+                       metavar="FACTOR",
+                       help="multiplier on the calibrated wall-clock "
+                            "record counts; < 1 speeds up smoke runs "
+                            "(the x3 headline target is calibrated "
+                            "at 1.0)")
     _add_obs_flags(bench, default_stride=100)
 
     trace = commands.add_parser(
@@ -141,6 +174,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--distribution", default="length",
                        choices=["length", "prefix", "broadcast"])
     trace.add_argument("--dispatchers", type=int, default=1)
+    trace.add_argument("--expiry", default="lazy", choices=["lazy", "eager"],
+                       help="window expiration strategy for the join "
+                            "engines (default: lazy)")
     trace.add_argument("--rate", type=float, default=1000.0)
     trace.add_argument("--top", type=int, default=5,
                        help="slowest traces to break down")
@@ -267,6 +303,7 @@ def _cmd_join(args) -> int:
         partitioning=args.partitioning,
         use_bundles=args.bundles,
         window_seconds=args.window,
+        expiry=args.expiry,
         dispatcher_parallelism=args.dispatchers,
         collect_pairs=args.pairs,
     )
@@ -281,6 +318,8 @@ def _cmd_join(args) -> int:
 
 
 def _cmd_bench(args) -> int:
+    if args.wallclock:
+        return _bench_wallclock(args)
     builder = CORPUS_BUILDERS[args.corpus]
     kwargs = {"seed": args.seed}
     if args.vocabulary is not None:
@@ -339,6 +378,40 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _bench_wallclock(args) -> int:
+    """Run the real-time suite (fixed calibrated corpora, DESIGN §9).
+
+    Exit status reflects *correctness only* — the cross-engine equality
+    checks — because wall-clock numbers vary with the host. ``--seed 0``
+    (the bench default) maps to the calibrated wall-clock seed.
+    """
+    if args.repeats < 1:
+        print(f"bench: --repeats must be >= 1, got {args.repeats}",
+              file=sys.stderr)
+        return 2
+    if args.wallclock_scale <= 0:
+        print(f"bench: --wallclock-scale must be > 0, got "
+              f"{args.wallclock_scale}", file=sys.stderr)
+        return 2
+    payload = wallclock_suite(
+        repeats=args.repeats,
+        threshold=args.threshold,
+        seed=args.seed if args.seed else WALLCLOCK_SEED,
+        scale=args.wallclock_scale,
+    )
+    print(render_wallclock(payload))
+    if args.wallclock_out:
+        with open(args.wallclock_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        print(f"wallclock: -> {args.wallclock_out}")
+    if not correctness_ok(payload):
+        print("bench: wall-clock run FAILED cross-engine correctness checks",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_trace(args) -> int:
     if args.smoke:
         return _trace_smoke(args)
@@ -351,6 +424,7 @@ def _cmd_trace(args) -> int:
         threshold=args.threshold,
         num_workers=args.workers,
         distribution=args.distribution,
+        expiry=args.expiry,
         dispatcher_parallelism=args.dispatchers,
     )
     observer = _make_observer(args)

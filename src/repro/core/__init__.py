@@ -9,9 +9,12 @@ Public entry points:
   :meth:`~repro.core.join.DistributedStreamJoin.run` on a
   :class:`~repro.streams.stream.RecordStream`.
 * :class:`~repro.core.local_join.StreamingSetJoin` — the single-node
-  streaming join engine (usable standalone).
+  streaming join engine (columnar fast path; usable standalone).
 * :func:`~repro.core.reference.naive_join` — the brute-force oracle the
   tests compare everything against.
+* :class:`~repro.core.reference.ReferenceStreamingSetJoin` — the
+  retained pre-columnar engine, the metering/wall-clock comparison
+  baseline (see DESIGN §9).
 """
 
 from repro.core.bundle import Bundle, BundleIndex, BundleMember
@@ -19,7 +22,7 @@ from repro.core.config import JoinConfig
 from repro.core.join import DistributedStreamJoin, JoinRunReport
 from repro.core.local_join import MatchResult, StreamingSetJoin
 from repro.core.metering import WorkMeter
-from repro.core.reference import naive_join
+from repro.core.reference import ReferenceStreamingSetJoin, naive_join
 from repro.core.two_stream import (
     DistributedTwoStreamJoin,
     TwoStreamSetJoin,
@@ -37,6 +40,7 @@ __all__ = [
     "JoinConfig",
     "JoinRunReport",
     "MatchResult",
+    "ReferenceStreamingSetJoin",
     "StreamingSetJoin",
     "TwoStreamSetJoin",
     "WorkMeter",

@@ -146,6 +146,7 @@ class JoinBolt(Bolt):
                 meter=self.meter,
                 token_filter=lambda token: token_owner(token, workers) == worker,
                 pair_filter=pair_filter,
+                expiry=config.expiry,
             )
         elif config.use_bundles:
             self.engine = BundleIndex(
@@ -158,7 +159,11 @@ class JoinBolt(Bolt):
             )
         else:
             self.engine = StreamingSetJoin(
-                self.func, window=window, meter=self.meter, pair_filter=cross
+                self.func,
+                window=window,
+                meter=self.meter,
+                pair_filter=cross,
+                expiry=config.expiry,
             )
 
     def execute(self, tup: StormTuple) -> None:

@@ -9,6 +9,7 @@ from typing import Optional
 DISTRIBUTIONS = ("length", "prefix", "broadcast")
 PARTITIONINGS = ("load_aware", "uniform", "quantile")
 SIMILARITIES = ("jaccard", "cosine", "dice", "overlap")
+EXPIRIES = ("lazy", "eager")
 
 
 @dataclass(frozen=True)
@@ -36,6 +37,13 @@ class JoinConfig:
         paper) vs per-member merges (False, the ablation arm).
     window_seconds:
         Sliding-window duration; ``inf`` disables expiration.
+    expiry:
+        Window-expiration strategy of the record engines: ``"lazy"``
+        (default — dead postings are collected by the scans that touch
+        them) or ``"eager"`` (a min-heap drains every dead posting at
+        the start of each probe/insert, so long-lived windows never
+        re-scan dead entries). Ignored for unbounded windows; the
+        bundle engine supports lazy expiry only.
     sample_size:
         Records sampled from the head of the stream to plan the length
         partition and estimate vocabulary size.
@@ -54,6 +62,7 @@ class JoinConfig:
     bundle_max_members: int = 64
     batch_verification: bool = True
     window_seconds: float = math.inf
+    expiry: str = "lazy"
     sample_size: int = 5000
     collect_pairs: bool = False
     #: Parallel input dispatchers. Above 1, join bolts reorder work via
@@ -94,6 +103,16 @@ class JoinConfig:
         if self.window_seconds <= 0:
             raise ValueError(
                 f"window_seconds must be positive, got {self.window_seconds}"
+            )
+        if self.expiry not in EXPIRIES:
+            raise ValueError(
+                f"expiry must be one of {EXPIRIES}, got {self.expiry!r}"
+            )
+        if self.expiry == "eager" and self.use_bundles:
+            raise ValueError(
+                "eager expiry is incompatible with bundles: the bundle index "
+                "expires whole bundles lazily (a bundle's lifetime is its "
+                "latest member's, unknowable at insert time)"
             )
         if self.sample_size < 1:
             raise ValueError(f"sample_size must be >= 1, got {self.sample_size}")

@@ -40,11 +40,39 @@ class WorkMeter:
         if self._ctx is not None:
             self._ctx.charge(operation, count)
 
+    def charge_many(self, counts: Dict[str, float]) -> None:
+        """Report several costed operations in one call.
+
+        Exactly equivalent to calling :meth:`charge` once per entry —
+        same totals, same forwarded context charges (operation counts
+        are integers, so float summation order cannot diverge). The hot
+        join loops accumulate local integers per probe and flush them
+        here, turning hundreds of per-posting ``charge`` calls into one.
+        Zero counts are recorded verbatim (they create the operation's
+        counter, as an explicit ``charge(op, 0)`` would).
+        """
+        operations = self.operations
+        ctx = self._ctx
+        for operation, count in counts.items():
+            operations[operation] += count
+            if ctx is not None:
+                ctx.charge(operation, count)
+
     def event(self, name: str, count: float = 1.0) -> None:
         """Report an uncosted counter (e.g. ``candidates``)."""
         self.events[name] += count
         if self._ctx is not None:
             self._ctx.add_counter(name, count)
+
+    def event_many(self, counts: Dict[str, float]) -> None:
+        """Report several uncosted counters in one call (see
+        :meth:`charge_many` for the exactness contract)."""
+        events = self.events
+        ctx = self._ctx
+        for name, count in counts.items():
+            events[name] += count
+            if ctx is not None:
+                ctx.add_counter(name, count)
 
     def signal(self, name: str, value: float) -> None:
         """Report a health signal (e.g. ``window_expiration_lag_fraction``).

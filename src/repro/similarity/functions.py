@@ -34,6 +34,7 @@ pair, and each bound is tight for some pair.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Dict, Sequence, Tuple, Type
 
 #: Guard against float rounding in threshold arithmetic. 1e-9 is far
@@ -70,6 +71,22 @@ class SimilarityFunction:
     def __init__(self, threshold: float):
         self._check_threshold(threshold)
         self.threshold = float(threshold)
+        # Per-instance memo tables over the pure size-derived bounds.
+        # The join engines call these once per posting/probe and record
+        # sizes repeat heavily, so each instance shadows its (subclass)
+        # methods with an unbounded cache; the table size is bounded by
+        # the number of distinct record lengths (length pairs for
+        # ``min_overlap``, size/size/overlap triples for
+        # ``similarity_from_overlap`` — the length filter keeps the
+        # sizes close and the overlap near the threshold, so the
+        # triples stay sparse), a few thousand entries at most.
+        self.min_overlap = lru_cache(maxsize=None)(self.min_overlap)
+        self.length_bounds = lru_cache(maxsize=None)(self.length_bounds)
+        self.probe_prefix_length = lru_cache(maxsize=None)(self.probe_prefix_length)
+        self.index_prefix_length = lru_cache(maxsize=None)(self.index_prefix_length)
+        self.similarity_from_overlap = lru_cache(maxsize=None)(
+            self.similarity_from_overlap
+        )
 
     # -- to be provided by subclasses ------------------------------------
     def similarity(self, r: Sequence[int], s: Sequence[int]) -> float:

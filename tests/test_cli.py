@@ -62,6 +62,20 @@ class TestJoin:
         assert main(["join", str(corpus_file), "--bundles",
                      "--window", "10", "--dispatchers", "2"]) == 0
 
+    def test_join_expiry_eager_matches_lazy(self, corpus_file, capsys):
+        def pairs(expiry):
+            assert main(["join", str(corpus_file), "--threshold", "0.7",
+                         "--window", "10", "--expiry", expiry,
+                         "--pairs"]) == 0
+            out = capsys.readouterr().out
+            return sorted(l for l in out.splitlines()
+                          if l and l[0].isdigit())
+        assert pairs("eager") == pairs("lazy")
+
+    def test_join_rejects_unknown_expiry(self, corpus_file):
+        with pytest.raises(SystemExit):
+            main(["join", str(corpus_file), "--expiry", "never"])
+
 
 class TestBench:
     def test_bench_prints_method_table(self, capsys, tmp_path):
@@ -84,6 +98,33 @@ class TestBench:
                      "--workers", "2", "--dispatchers", "1",
                      "--vocabulary", "100",
                      "--summary-out", str(tmp_path / "s.json")]) == 0
+
+    def test_bench_wallclock_writes_report(self, capsys, tmp_path):
+        out = tmp_path / "BENCH_wallclock.json"
+        assert main(["bench", "--wallclock", "--repeats", "1",
+                     "--wallclock-scale", "0.03",
+                     "--wallclock-out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "headline" in printed and "correctness ok" in printed
+        payload = json.loads(out.read_text())
+        assert payload["schema"] == "repro/wallclock/v1"
+        assert set(payload["corpora"]) == {"AOL", "TWEET"}
+        for entry in payload["corpora"].values():
+            assert all(entry["correctness"].values())
+            assert entry["columnar"]["probe_s"] > 0
+        assert payload["headline"]["target"] == 3.0
+
+    def test_bench_wallclock_rejects_bad_repeats(self, capsys):
+        assert main(["bench", "--wallclock", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err
+
+
+class TestTrace:
+    def test_trace_expiry_eager_runs(self, capsys):
+        assert main(["trace", "--records", "60", "--workers", "2",
+                     "--expiry", "eager"]) == 0
+        out = capsys.readouterr().out
+        assert "per-hop breakdown" in out
 
 
 class TestParser:

@@ -1,0 +1,138 @@
+"""Differential fuzz: columnar engine vs. the retained reference engine.
+
+The columnar fast path in :mod:`repro.core.local_join` must be
+*observationally identical* to the pre-columnar
+:class:`ReferenceStreamingSetJoin` — not just the same match set, but
+the same per-probe match lists, the same :class:`WorkMeter` operation
+and event totals (the repo's cost-model currency, gated float-for-float
+by ``repro diff``), and the same live-posting count. These tests drive
+both engines over randomized streams — out-of-order timestamps, empty
+records, heavy duplicates, bounded and unbounded windows, both expiry
+modes, and the prefix-scheme token/pair filters — and assert equality
+on all four observables after every probe.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.local_join import StreamingSetJoin
+from repro.core.metering import WorkMeter
+from repro.core.reference import ReferenceStreamingSetJoin
+from repro.records import Record
+from repro.routing.prefix_router import token_owner
+from repro.similarity.functions import get_similarity
+from repro.streams.window import SlidingWindow
+
+ENGINES = (StreamingSetJoin, ReferenceStreamingSetJoin)
+
+
+def run_engine(engine_cls, records, func_name, threshold, window_seconds,
+               expiry, token_filter=None, pair_filter=None):
+    """Probe-and-insert every record; return all observables."""
+    func = get_similarity(func_name, threshold)
+    meter = WorkMeter()
+    engine = engine_cls(
+        func,
+        window=SlidingWindow(window_seconds),
+        meter=meter,
+        token_filter=token_filter,
+        pair_filter=pair_filter,
+        expiry=expiry,
+    )
+    per_probe = []
+    for record in records:
+        matches = engine.probe_and_insert(record)
+        per_probe.append(sorted(
+            (m.partner.rid, round(m.similarity, 12), m.overlap)
+            for m in matches
+        ))
+    return {
+        "matches": per_probe,
+        "operations": dict(meter.operations),
+        "events": dict(meter.events),
+        "live_postings": engine.live_postings,
+    }
+
+
+def assert_identical(records, func_name, threshold, window_seconds, expiry,
+                     token_filter=None, pair_filter=None):
+    columnar, reference = (
+        run_engine(engine_cls, records, func_name, threshold,
+                   window_seconds, expiry, token_filter, pair_filter)
+        for engine_cls in ENGINES
+    )
+    context = (f"{func_name} θ={threshold} window={window_seconds} "
+               f"expiry={expiry}")
+    for i, (got, want) in enumerate(
+        zip(columnar["matches"], reference["matches"])
+    ):
+        assert got == want, (
+            f"{context}: probe {i} (rid {records[i].rid}) matches differ:\n"
+            f"  columnar:  {got}\n  reference: {want}"
+        )
+    assert columnar["operations"] == reference["operations"], context
+    assert columnar["events"] == reference["events"], context
+    assert columnar["live_postings"] == reference["live_postings"], context
+
+
+def fuzz_stream(seed, n=350, universe=60, max_len=8, jitter_rate=0.3):
+    """A randomized stream with out-of-order timestamps and empty records."""
+    rng = random.Random(seed)
+    records = []
+    now = 0.0
+    for rid in range(n):
+        now += rng.random() * 0.5
+        # Occasional timestamp jitter: records arrive out of event order,
+        # which is what makes the eager heap and lazy sweeps disagree if
+        # either engine's expiration bookkeeping drifts.
+        jitter = rng.random() * 2.0 if rng.random() < jitter_rate else 0.0
+        size = rng.randint(0, max_len)
+        tokens = tuple(sorted(rng.sample(range(universe), size)))
+        records.append(Record(rid=rid, tokens=tokens, timestamp=now + jitter))
+    return records
+
+
+@pytest.mark.parametrize("seed", range(4))
+@pytest.mark.parametrize("window_seconds", [3.0, 10.0, math.inf])
+@pytest.mark.parametrize("expiry", ["lazy", "eager"])
+def test_unfiltered_differential(seed, window_seconds, expiry):
+    records = fuzz_stream(seed)
+    for func_name, threshold in (("jaccard", 0.6), ("cosine", 0.7)):
+        assert_identical(records, func_name, threshold, window_seconds, expiry)
+
+
+@pytest.mark.parametrize("seed", [100, 101])
+@pytest.mark.parametrize("window_seconds", [5.0, math.inf])
+@pytest.mark.parametrize("expiry", ["lazy", "eager"])
+def test_filtered_differential(seed, window_seconds, expiry):
+    """Prefix-scheme mode: token filter + pair filter + relaxed verify."""
+    records = fuzz_stream(seed, n=250, universe=50, jitter_rate=0.0)
+    assert_identical(
+        records, "jaccard", 0.5, window_seconds, expiry,
+        token_filter=lambda token: token_owner(token, 3) == 1,
+        pair_filter=lambda r, s: (r.rid + s.rid) % 2 == 0,
+    )
+
+
+@pytest.mark.parametrize("expiry", ["lazy", "eager"])
+def test_duplicate_heavy_stream(expiry):
+    """Exact duplicates exercise the columnar closed-form merge shortcut."""
+    rng = random.Random(7)
+    base = [tuple(sorted(rng.sample(range(40), rng.randint(1, 6))))
+            for _ in range(12)]
+    records = [
+        Record(rid=rid, tokens=rng.choice(base), timestamp=rid * 0.3)
+        for rid in range(300)
+    ]
+    for window_seconds in (4.0, math.inf):
+        assert_identical(records, "jaccard", 0.8, window_seconds, expiry)
+
+
+def test_overlap_function_differential():
+    """Overlap's unbounded length filter stresses the bisect slicing."""
+    records = fuzz_stream(3, n=200, universe=30, max_len=10)
+    for window_seconds in (6.0, math.inf):
+        for expiry in ("lazy", "eager"):
+            assert_identical(records, "overlap", 3, window_seconds, expiry)

@@ -146,6 +146,62 @@ class TestEngineMechanics:
         assert engine.probe(Record(1, (), 1.0)) == []
 
 
+class TestExpiryModes:
+    def test_rejects_unknown_expiry(self):
+        with pytest.raises(ValueError, match="expiry"):
+            StreamingSetJoin(Jaccard(0.5), expiry="never")
+
+    def test_eager_evicts_on_insert_without_probing(self):
+        engine = StreamingSetJoin(
+            Jaccard(0.9), window=SlidingWindow(1.0), expiry="eager"
+        )
+        for i in range(10):
+            engine.insert(Record(i, (1, 2, 3), timestamp=float(i) * 0.1))
+        assert engine.live_postings > 0
+        # A far-future insert alone (token-disjoint, so no probe ever
+        # touches the stale postings) must still drain the whole index.
+        engine.insert(Record(99, (7, 8, 9), timestamp=1e6))
+        func = Jaccard(0.9)
+        assert engine.live_postings == func.index_prefix_length(3)
+
+    def test_eager_meters_expiration(self):
+        meter = WorkMeter()
+        engine = StreamingSetJoin(
+            Jaccard(0.9), window=SlidingWindow(1.0), meter=meter,
+            expiry="eager",
+        )
+        engine.insert(Record(0, (1, 2, 3), timestamp=0.0))
+        inserted = meter.operation("posting_insert")
+        engine.insert(Record(1, (4, 5, 6), timestamp=100.0))
+        assert meter.operation("posting_expire") == inserted
+
+    def test_eager_unbounded_window_never_expires(self):
+        engine = StreamingSetJoin(Jaccard(0.9), expiry="eager")
+        for i in range(5):
+            engine.insert(Record(i, (1, 2, 3), timestamp=float(i) * 1e6))
+        func = Jaccard(0.9)
+        assert engine.live_postings == 5 * func.index_prefix_length(3)
+
+    @pytest.mark.parametrize("window_seconds", [2.0, 7.5])
+    def test_eager_matches_lazy_results(self, window_seconds):
+        func = Jaccard(0.6)
+        rng = random.Random(23)
+        records = make_records(
+            random_corpus(rng, 150, universe=30, max_len=8), spacing=0.5
+        )
+        outputs = []
+        for expiry in ("lazy", "eager"):
+            engine = StreamingSetJoin(
+                func, window=SlidingWindow(window_seconds), expiry=expiry
+            )
+            outputs.append([
+                sorted((m.partner.rid, m.overlap) for m in
+                       engine.probe_and_insert(r))
+                for r in records
+            ])
+        assert outputs[0] == outputs[1]
+
+
 class TestFilteredModeEquivalence:
     """A union of token-filtered engines must equal one unfiltered
     engine (the prefix scheme's per-worker decomposition)."""

@@ -41,6 +41,31 @@ class TestUnboundMeter:
         meter.event("results", 2)
         assert meter.snapshot() == {"token_compare": 4, "results": 2}
 
+    def test_charge_many_equals_singles(self):
+        batched, singles = WorkMeter(), WorkMeter()
+        batched.charge_many({"posting_scan": 7, "token_compare": 3})
+        batched.charge_many({"posting_scan": 2})
+        for operation, count in (("posting_scan", 7), ("token_compare", 3),
+                                 ("posting_scan", 2)):
+            singles.charge(operation, count)
+        assert dict(batched.operations) == dict(singles.operations)
+
+    def test_charge_many_records_zero_counts(self):
+        # The engines emit token_compare=0 when a probe verified nothing,
+        # so the operation key-set (part of the baseline fingerprint)
+        # matches a per-posting engine that called charge(op, 0).
+        meter = WorkMeter()
+        meter.charge_many({"token_compare": 0})
+        assert "token_compare" in meter.operations
+        assert meter.operation("token_compare") == 0
+
+    def test_event_many_equals_singles(self):
+        batched, singles = WorkMeter(), WorkMeter()
+        batched.event_many({"candidates": 5, "verifications": 4})
+        singles.event("candidates", 5)
+        singles.event("verifications", 4)
+        assert dict(batched.events) == dict(singles.events)
+
 
 class TestBoundMeter:
     def test_charges_reach_the_context_clock(self, ctx):
@@ -69,6 +94,23 @@ class TestBoundMeter:
         obs = ctx.obs
         assert obs.value("candidates", component="join", task=2) == 4
         assert obs.value("op:index_lookup", component="join", task=2) == 3
+
+    def test_charge_many_forwards_to_the_context(self, ctx):
+        meter = WorkMeter(ctx)
+        before = ctx.pending_units
+        meter.charge_many({"posting_scan": 4, "token_compare": 9})
+        charged = ctx.pending_units - before
+        assert charged == ctx.cost.posting_scan * 4 + ctx.cost.token_compare * 9
+        assert ctx.metrics.counter("op:posting_scan") == 4
+        assert ctx.metrics.counter("op:token_compare") == 9
+
+    def test_event_many_forwards_to_the_counters(self, ctx):
+        meter = WorkMeter(ctx)
+        before = ctx.pending_units
+        meter.event_many({"candidates": 8, "verifications": 2})
+        assert ctx.pending_units == before  # events stay free
+        assert ctx.metrics.counter("candidates") == 8
+        assert ctx.metrics.counter("verifications") == 2
 
     def test_multiple_charges_accumulate_simulated_time(self, ctx):
         meter = WorkMeter(ctx)

@@ -96,6 +96,37 @@ class TestValidation:
         assert len({Jaccard(0.8), Jaccard(0.8), Dice(0.8)}) == 2
 
 
+class TestMemoization:
+    """The bound methods are wrapped per-instance in unbounded caches."""
+
+    MEMOIZED = ("min_overlap", "length_bounds", "probe_prefix_length",
+                "index_prefix_length", "similarity_from_overlap")
+
+    @pytest.mark.parametrize("cls", FUNCS + [Overlap])
+    def test_bound_methods_carry_caches(self, cls):
+        f = cls(3 if cls is Overlap else 0.8)
+        for name in self.MEMOIZED:
+            info = getattr(f, name).cache_info()
+            assert info.maxsize is None, f"{name} cache is bounded"
+
+    def test_caches_are_per_instance(self):
+        a, b = Jaccard(0.8), Jaccard(0.8)
+        a.min_overlap(10, 10)
+        assert a.min_overlap.cache_info().currsize == 1
+        assert b.min_overlap.cache_info().currsize == 0
+
+    def test_memoized_values_match_uncached_math(self):
+        f = Jaccard(0.8)
+        for lr, ls in [(5, 5), (10, 8), (12, 12), (10, 8)]:
+            assert f.min_overlap(lr, ls) == Jaccard.min_overlap(f, lr, ls)
+        for lr, ls, o in [(10, 10, 9), (8, 10, 8), (10, 10, 9)]:
+            assert f.similarity_from_overlap(lr, ls, o) == pytest.approx(
+                Jaccard.similarity_from_overlap(f, lr, ls, o)
+            )
+        hits = f.min_overlap.cache_info().hits
+        assert hits >= 1  # the repeated (10, 8) pair hit the cache
+
+
 class TestBoundExactness:
     """The filters must be safe (never prune a qualifying pair) and the
     min-overlap bound must exactly characterize the threshold."""
