@@ -31,13 +31,16 @@ correctness mismatch as failure but never the timings themselves
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.core.config import JoinConfig
 from repro.core.local_join import StreamingSetJoin
 from repro.core.metering import WorkMeter
 from repro.core.reference import ReferenceStreamingSetJoin
 from repro.datasets.corpora import synthetic_aol, synthetic_tweet
+from repro.parallel.runtime import ParallelJoinRunner, run_serial
 from repro.records import Record
 from repro.similarity.functions import get_similarity
 from repro.similarity.verification import verify_pair
@@ -48,6 +51,14 @@ SEED = 20200420
 #: Probe-phase speedup the columnar engine must deliver on the AOL
 #: bench configuration (the suite's headline acceptance target).
 PROBE_SPEEDUP_TARGET = 3.0
+
+#: Worker counts of the multi-core scaling sweep (capped at the CLI's
+#: ``--workers``; 1 is always measured — it is the speedup baseline).
+SCALING_WORKER_COUNTS = (1, 2, 4, 8)
+
+#: Combined (insert+probe) wall-clock speedup the parallel runtime
+#: targets at 4 workers over 1 worker, on hosts with >= 4 cores.
+PARALLEL_SPEEDUP_TARGET = 1.6
 
 #: The headline corpus (density-calibrated like ``benchmarks.common``:
 #: the paper's postings-per-token density at laptop-scale record
@@ -176,6 +187,91 @@ def _verify_micro(records: List[Record], threshold: float, repeats: int) -> Dict
     }
 
 
+def parallel_scaling_section(
+    max_workers: int = 8,
+    repeats: int = 3,
+    similarity: str = "jaccard",
+    threshold: float = 0.8,
+    seed: int = SEED,
+    scale: float = 1.0,
+    corpus: str = HEADLINE_CORPUS,
+    batch_size: Optional[int] = None,
+) -> Dict[str, object]:
+    """The multi-core scaling sweep (``parallel.scaling`` in the payload).
+
+    One calibrated streaming workload (probe-and-insert over the
+    headline corpus, length-routed over the default shard count) is run
+    through :class:`~repro.parallel.runtime.ParallelJoinRunner` at each
+    worker count of :data:`SCALING_WORKER_COUNTS` up to ``max_workers``,
+    best-of-``repeats`` wall time per count. Every run's observables
+    (match rows, operation and event totals) are diffed against
+    :func:`~repro.parallel.runtime.run_serial` ground truth — the
+    correctness booleans CI gates on. Timings are reported, never
+    gated: ``host_cpus`` is recorded so a single-core runner's flat
+    curve reads as what it is, and the 4-worker speedup target is only
+    meaningful on hosts with >= 4 cores.
+    """
+    if max_workers < 1:
+        raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+    counts = [w for w in SCALING_WORKER_COUNTS if w <= max_workers]
+    if not counts:
+        counts = [1]
+    base_n, generator, _ = WALLCLOCK_CORPORA[corpus]
+    n = max(100, int(base_n * scale))
+    records = list(generator(n, seed))
+    config = JoinConfig(similarity=similarity, threshold=threshold)
+    if batch_size is not None:
+        config = config.replace(batch_size=batch_size)
+
+    serial = run_serial(config, records)
+    section: Dict[str, object] = {
+        "corpus": corpus,
+        "records": n,
+        "shards": serial.num_shards,
+        "batch_size": config.batch_size,
+        "host_cpus": os.cpu_count(),
+        "workers": {},
+    }
+    baseline_wall: Optional[float] = None
+    for workers in counts:
+        runner = ParallelJoinRunner(config, workers=workers)
+        best = None
+        for _ in range(repeats):
+            result = runner.run(records)
+            if best is None or result.wall_s < best.wall_s:
+                best = result
+        correctness = {
+            "matches_equal": best.matches == serial.matches,
+            "operations_equal": best.operations == serial.operations,
+            "events_equal": best.events == serial.events,
+        }
+        if baseline_wall is None:
+            baseline_wall = best.wall_s
+        speedup = baseline_wall / best.wall_s if best.wall_s > 0 else 0.0
+        section["workers"][str(workers)] = {
+            "wall_s": round(best.wall_s, 6),
+            "throughput_rps": round(best.throughput, 1),
+            "speedup": round(speedup, 3),
+            "efficiency": round(speedup / workers, 3),
+            "busy_s": [round(s["busy_s"], 6) for s in best.worker_stats],
+            "correctness": correctness,
+        }
+    at4 = section["workers"].get("4")
+    section["target"] = PARALLEL_SPEEDUP_TARGET
+    section["speedup_at_4"] = at4["speedup"] if at4 else None
+    section["meets_target"] = (
+        at4["speedup"] >= PARALLEL_SPEEDUP_TARGET if at4 else None
+    )
+    cpus = os.cpu_count() or 1
+    if cpus < 4:
+        section["note"] = (
+            f"host has {cpus} CPU core(s): the {PARALLEL_SPEEDUP_TARGET}x "
+            "4-worker target is calibrated for >= 4 cores; timings here "
+            "measure runtime overhead, not scaling"
+        )
+    return section
+
+
 def wallclock_suite(
     corpora: Optional[List[str]] = None,
     repeats: int = 3,
@@ -183,6 +279,8 @@ def wallclock_suite(
     threshold: float = 0.8,
     seed: int = SEED,
     scale: float = 1.0,
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the wall-clock comparison; return the report payload.
 
@@ -195,6 +293,13 @@ def wallclock_suite(
     scale:
         Multiplier on the calibrated record counts (CI smoke runs can
         pass < 1 for speed; the headline target is calibrated at 1.0).
+    workers:
+        When set, also run the multi-core scaling sweep up to this many
+        worker processes and attach it as ``payload["parallel"]
+        ["scaling"]`` (see :func:`parallel_scaling_section`).
+    batch_size:
+        IPC batch size for the scaling sweep (default:
+        ``JoinConfig.batch_size``).
 
     The returned payload (serialised as ``BENCH_wallclock.json``)::
 
@@ -296,15 +401,35 @@ def wallclock_suite(
         "target": PROBE_SPEEDUP_TARGET,
         "meets_target": headline_entry["probe_speedup"] >= PROBE_SPEEDUP_TARGET,
     }
+    if workers is not None:
+        payload["parallel"] = {
+            "scaling": parallel_scaling_section(
+                max_workers=workers,
+                repeats=repeats,
+                similarity=similarity,
+                threshold=threshold,
+                seed=seed,
+                scale=scale,
+                batch_size=batch_size,
+            )
+        }
     return payload
 
 
 def correctness_ok(payload: Dict[str, object]) -> bool:
-    """True when every corpus passed every cross-engine equality check."""
-    return all(
+    """True when every corpus passed every cross-engine equality check
+    — including, when present, the scaling sweep's parallel-vs-serial
+    diffs at every worker count."""
+    engines_ok = all(
         all(entry["correctness"].values())
         for entry in payload["corpora"].values()
     )
+    scaling = payload.get("parallel", {}).get("scaling", {})
+    parallel_ok = all(
+        all(entry["correctness"].values())
+        for entry in scaling.get("workers", {}).values()
+    )
+    return engines_ok and parallel_ok
 
 
 def render_wallclock(payload: Dict[str, object]) -> str:
@@ -330,4 +455,22 @@ def render_wallclock(payload: Dict[str, object]) -> str:
         f"(target x{headline['target']:.1f}: "
         f"{'met' if headline['meets_target'] else 'NOT met'})"
     )
+    scaling = payload.get("parallel", {}).get("scaling")
+    if scaling:
+        lines.append(
+            f"  parallel scaling: {scaling['corpus']} n={scaling['records']} "
+            f"shards={scaling['shards']} batch={scaling['batch_size']} "
+            f"host_cpus={scaling['host_cpus']}"
+        )
+        for workers, entry in scaling["workers"].items():
+            ok = all(entry["correctness"].values())
+            lines.append(
+                f"    workers={workers:>2s}  wall {entry['wall_s']*1e3:8.1f}ms  "
+                f"{entry['throughput_rps']:9.0f} rec/s  "
+                f"speedup x{entry['speedup']:.2f}  "
+                f"eff {entry['efficiency']:.2f}  "
+                f"correctness {'ok' if ok else 'MISMATCH'}"
+            )
+        if scaling.get("note"):
+            lines.append(f"    note: {scaling['note']}")
     return "\n".join(lines)

@@ -83,6 +83,10 @@ from repro.storm.costmodel import CostModel
 
 METHOD_LABELS = ("BRD", "PRE", "LEN-U", "LEN", "LEN+BUN")
 
+#: Record-count multiplier behind ``--wallclock-scale smoke`` — small
+#: enough for CI runners, large enough that every corpus still joins.
+SMOKE_WALLCLOCK_SCALE = 0.05
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -115,6 +119,21 @@ def build_parser() -> argparse.ArgumentParser:
     join.add_argument("--max-records", type=int, default=None)
     join.add_argument("--pairs", action="store_true",
                       help="print every similar pair")
+    join.add_argument("--parallel", action="store_true",
+                      help="run on real cores (repro.parallel) instead of "
+                           "the simulated cluster; --workers then counts "
+                           "worker processes and --shards logical engine "
+                           "shards")
+    join.add_argument("--shards", type=int, default=None,
+                      help="logical shard count in --parallel mode "
+                           "(default: 8, the simulated cluster's default "
+                           "parallelism; observables depend on shards, "
+                           "never on --workers)")
+    join.add_argument("--batch-size", type=int, default=None,
+                      help="records per IPC batch in --parallel mode "
+                           "(default: 512)")
+    join.add_argument("--fingerprint-out", default=None, metavar="PATH",
+                      help="write the run's fingerprint for `repro diff`")
     _add_obs_flags(join, default_stride=1)
 
     bench = commands.add_parser("bench", help="compare methods on a synthetic corpus")
@@ -151,12 +170,17 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--repeats", type=int, default=3,
                        help="wall-clock repeats per engine and phase; "
                             "the best time is kept (default 3)")
-    bench.add_argument("--wallclock-scale", type=float, default=1.0,
+    bench.add_argument("--wallclock-scale", default="1.0",
                        metavar="FACTOR",
                        help="multiplier on the calibrated wall-clock "
                             "record counts; < 1 speeds up smoke runs "
                             "(the x3 headline target is calibrated "
-                            "at 1.0)")
+                            "at 1.0), or the literal 'smoke' for the "
+                            "CI smoke configuration")
+    bench.add_argument("--no-parallel-sweep", action="store_true",
+                       help="skip the multi-core scaling sweep in "
+                            "--wallclock mode (--workers caps its "
+                            "worker counts)")
     _add_obs_flags(bench, default_stride=100)
 
     trace = commands.add_parser(
@@ -292,21 +316,47 @@ def _suffixed(path: str, suffix: str) -> str:
 
 
 def _cmd_join(args) -> int:
+    if args.workers < 1:
+        print(f"join: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.shards is not None and args.shards < 1:
+        print(f"join: --shards must be >= 1, got {args.shards}",
+              file=sys.stderr)
+        return 2
     stream, dictionary = load_token_file(
         args.input, rate=args.rate, max_records=args.max_records
     )
-    config = JoinConfig(
-        similarity=args.similarity,
-        threshold=args.threshold,
-        num_workers=args.workers,
-        distribution=args.distribution,
-        partitioning=args.partitioning,
-        use_bundles=args.bundles,
-        window_seconds=args.window,
-        expiry=args.expiry,
-        dispatcher_parallelism=args.dispatchers,
-        collect_pairs=args.pairs,
-    )
+    try:
+        config = JoinConfig(
+            similarity=args.similarity,
+            threshold=args.threshold,
+            num_workers=(
+                (args.shards if args.shards is not None else 8)
+                if args.parallel
+                else args.workers
+            ),
+            distribution=args.distribution,
+            partitioning=args.partitioning,
+            use_bundles=args.bundles,
+            window_seconds=args.window,
+            expiry=args.expiry,
+            dispatcher_parallelism=args.dispatchers,
+            collect_pairs=args.pairs,
+            **(
+                {"batch_size": args.batch_size}
+                if args.batch_size is not None
+                else {}
+            ),
+        )
+    except ValueError as error:
+        # JoinConfig's pointed validation errors (bad --batch-size,
+        # --shards, --window combinations) become clean exit-code-2
+        # diagnostics instead of tracebacks.
+        print(f"join: {error}", file=sys.stderr)
+        return 2
+    if args.parallel:
+        return _join_parallel(args, config, stream)
     observer = _make_observer(args)
     report = DistributedStreamJoin(config).run(stream, observer=observer)
     print(format_table([report.summary()]))
@@ -314,6 +364,61 @@ def _cmd_join(args) -> int:
         for later, earlier, similarity in sorted(report.pairs, key=lambda p: -p[2]):
             print(f"{similarity:.4f}\t{earlier}\t{later}")
     _write_artifacts(observer, report, args)
+    if args.fingerprint_out:
+        from repro.obs.baseline import fingerprint_from_metrics
+
+        path = write_fingerprint(
+            args.fingerprint_out, fingerprint_from_metrics(metrics_to_json(report.obs))
+        )
+        print(f"fingerprint: -> {path}")
+    return 0
+
+
+def _join_parallel(args, config: JoinConfig, stream) -> int:
+    """``repro join --parallel``: the multi-core runtime."""
+    if args.bundles:
+        print("join: --parallel does not support --bundles (the bundle "
+              "engine reuses home-worker probe results the sharded driver "
+              "never sees)", file=sys.stderr)
+        return 2
+    if args.dispatchers > 1:
+        print("join: --parallel routes records in the driver; "
+              "--dispatchers does not apply", file=sys.stderr)
+        return 2
+    if args.trace_out or args.metrics_out:
+        print("join: --trace-out/--metrics-out need the simulated cluster; "
+              "--parallel supports --timeline, --health-out and "
+              "--fingerprint-out", file=sys.stderr)
+        return 2
+    from repro.parallel import ParallelJoinRunner
+
+    runner = ParallelJoinRunner(config, workers=args.workers)
+    result = runner.run(stream)
+    print(format_table([{
+        "method": config.method_label,
+        "workers": result.workers,
+        "shards": result.num_shards,
+        "batch": result.batch_size,
+        "records": result.records,
+        "results": result.results,
+        "wall_s": round(result.wall_s, 4),
+        "records_per_s": round(result.throughput, 1),
+    }]))
+    if args.pairs:
+        rows = sorted(result.matches, key=lambda row: -row[4])
+        for timestamp, later, earlier, overlap, similarity in rows:
+            print(f"{similarity:.4f}\t{earlier}\t{later}")
+    if args.timeline:
+        print(result.timeline().render())
+    if args.health_out:
+        monitor = result.health()
+        lines = monitor.write_jsonl(args.health_out)
+        print(f"health: {lines} lines -> {args.health_out}")
+        if monitor.events:
+            print(monitor.render())
+    if args.fingerprint_out:
+        path = write_fingerprint(args.fingerprint_out, result.fingerprint())
+        print(f"fingerprint: -> {path}")
     return 0
 
 
@@ -389,15 +494,29 @@ def _bench_wallclock(args) -> int:
         print(f"bench: --repeats must be >= 1, got {args.repeats}",
               file=sys.stderr)
         return 2
-    if args.wallclock_scale <= 0:
-        print(f"bench: --wallclock-scale must be > 0, got "
-              f"{args.wallclock_scale}", file=sys.stderr)
+    if args.workers < 1:
+        print(f"bench: --workers must be >= 1, got {args.workers}",
+              file=sys.stderr)
+        return 2
+    if args.wallclock_scale == "smoke":
+        scale = SMOKE_WALLCLOCK_SCALE
+    else:
+        try:
+            scale = float(args.wallclock_scale)
+        except ValueError:
+            print(f"bench: --wallclock-scale must be a number or 'smoke', "
+                  f"got {args.wallclock_scale!r}", file=sys.stderr)
+            return 2
+    if scale <= 0:
+        print(f"bench: --wallclock-scale must be > 0, got {scale}",
+              file=sys.stderr)
         return 2
     payload = wallclock_suite(
         repeats=args.repeats,
         threshold=args.threshold,
         seed=args.seed if args.seed else WALLCLOCK_SEED,
-        scale=args.wallclock_scale,
+        scale=scale,
+        workers=None if args.no_parallel_sweep else args.workers,
     )
     print(render_wallclock(payload))
     if args.wallclock_out:

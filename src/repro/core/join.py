@@ -8,18 +8,9 @@ from typing import List, Optional, Tuple
 from repro.core.bolts import DispatcherBolt, JoinBolt, RecordSpout, ResultSink
 from repro.core.config import JoinConfig
 from repro.obs.observer import RunObserver
-from repro.partition.cost import JoinCostEstimator
-from repro.partition.length_partition import (
-    LengthPartition,
-    load_aware_partition,
-    quantile_partition,
-    uniform_partition,
-)
-from repro.partition.stats import LengthHistogram
+from repro.partition.length_partition import LengthPartition
 from repro.routing.base import Router
-from repro.routing.broadcast_router import BroadcastRouter
-from repro.routing.length_router import LengthRouter
-from repro.routing.prefix_router import PrefixRouter
+from repro.routing.plan import plan_routing
 from repro.similarity.functions import get_similarity
 from repro.storm.cluster import LocalCluster
 from repro.storm.costmodel import CostModel, NetworkModel
@@ -107,34 +98,13 @@ class DistributedStreamJoin:
     # -- planning -----------------------------------------------------------
     def plan(self, stream: RecordStream) -> Tuple[Router, Optional[LengthPartition]]:
         """Build the router (and, for the length scheme, the partition)
-        from a sample of the stream's head."""
+        from a sample of the stream's head (see
+        :func:`repro.routing.plan.plan_routing`, shared with the
+        multi-core runtime)."""
         config = self.config
-        if config.distribution == "prefix":
-            return PrefixRouter(config.num_workers, self.func), None
-        if config.distribution == "broadcast":
-            return BroadcastRouter(config.num_workers), None
-
-        sample = stream.corpus[: config.sample_size]
-        lengths = [len(tokens) for tokens in sample if tokens]
-        if not lengths:
-            lengths = [1]
-        histogram = LengthHistogram.from_lengths(lengths)
-
-        if config.partitioning == "uniform":
-            partition = uniform_partition(
-                histogram.min_length, histogram.max_length, config.num_workers
-            )
-        elif config.partitioning == "quantile":
-            partition = quantile_partition(histogram, config.num_workers)
-        else:
-            vocabulary = set()
-            for tokens in sample:
-                vocabulary.update(tokens)
-            estimator = JoinCostEstimator(
-                histogram, self.func, vocabulary_size=max(1, len(vocabulary))
-            )
-            partition = load_aware_partition(estimator, config.num_workers)
-        return LengthRouter(partition, self.func), partition
+        return plan_routing(
+            config, self.func, stream.corpus[: config.sample_size]
+        )
 
     # -- execution -----------------------------------------------------------
     def run(

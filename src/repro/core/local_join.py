@@ -18,16 +18,24 @@ list — plus a rid → :class:`Record` side table that owns record
 lifetimes. The scan loop reads primitive slots; attribute access on a
 Record happens only once a candidate survives every filter.
 
-**Size-sorted columns.** In lazy-expiry mode the columns are kept
-sorted by partner size (inserts bisect into place; lists are short, so
-the C-level ``insert`` memmove is cheap). A probe then applies the
+**Size-sorted columns, sorted lazily.** In lazy-expiry mode the
+columns are kept sorted by partner size so a probe can apply the
 length filter *wholesale*: two binary searches bound the qualifying
 slice and postings outside ``[lo, hi]`` are never touched. They are
 still **accounted** as scanned — ``posting_scan`` counts the logical
 work of the reference algorithm, which walks the full list; the meter
 is the cost-model currency, the fast path merely does less physical
-work per logical operation. Eager mode keeps append order instead,
-because its expiration heap addresses postings by stable slot.
+work per logical operation. The sort itself is **deferred**: inserts
+append (C-speed, like the reference engine) and mark the column dirty;
+the first probe that touches a dirty column restores order — a stable
+full sort after a long insert streak, or bisect-inserting a short
+appended tail (the steady interleaved probe/insert case, where the
+cost matches the old incremental sorted insert). Either repair yields
+the exact arrangement incremental ``bisect_right`` inserts would have
+produced, so observable behaviour is unchanged while pure insert
+phases stop paying per-insert memmove + bisect cost. Eager mode keeps
+append order instead, because its expiration heap addresses postings
+by stable slot.
 
 **Aggregate metering.** The scan accumulates plain local integers and
 flushes them once per probe through
@@ -79,6 +87,7 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left, bisect_right
+from contextlib import contextmanager
 from heapq import heappop, heappush
 from typing import Callable, Dict, List, NamedTuple, Optional, Tuple
 
@@ -113,9 +122,16 @@ class _Postings:
 
     Four primitive columns (``array``) plus a Record-reference list,
     index-aligned. In lazy mode the columns are sorted by ``sizes`` so
-    probes can bisect the length-qualifying slice; in eager mode they
-    are append-ordered because heap entries address postings by stable
+    probes can bisect the length-qualifying slice; the sort is applied
+    lazily (see :meth:`ensure_sorted`). In eager mode they are
+    append-ordered because heap entries address postings by stable
     slot.
+
+    ``sorted_len`` is the length of the leading slice known to be
+    size-sorted; inserts append past it, and the first probe that
+    bisects the column repairs order (only the unbounded-window lazy
+    fast path ever relies on sortedness, so bounded/eager columns can
+    stay append-ordered forever).
 
     ``start``/``base``/``dead`` exist for eager expiry only (all zero
     in lazy mode). Heap entries carry *absolute* slots — the running
@@ -127,8 +143,12 @@ class _Postings:
 
     __slots__ = (
         "rids", "sizes", "positions", "timestamps", "recs",
-        "start", "base", "dead",
+        "start", "base", "dead", "sorted_len",
     )
+
+    #: Appended tails at most this long are bisect-inserted in place;
+    #: longer tails trigger a full stable sort (cheaper per element).
+    TAIL_INSERT_LIMIT = 16
 
     def __init__(self) -> None:
         self.rids = array("q")
@@ -139,9 +159,60 @@ class _Postings:
         self.start = 0
         self.base = 0
         self.dead = 0
+        self.sorted_len = 0
 
     def live_count(self) -> int:
         return len(self.rids) - self.start - self.dead
+
+    def ensure_sorted(self) -> None:
+        """Restore size order after appends (lazy-mode probes only).
+
+        Both repair strategies are *stable* — equal sizes keep append
+        order — so the resulting arrangement is identical to what
+        incremental ``bisect_right`` inserts would have built, and
+        therefore to what the pre-deferral engine scanned.
+        """
+        sizes = self.sizes
+        n = len(sizes)
+        head = self.sorted_len
+        if head == n:
+            return
+        # The timestamps column may be absent (unbounded windows skip
+        # it — only this sorted fast path ever runs there anyway).
+        with_ts = bool(self.timestamps)
+        if head and n - head <= self.TAIL_INSERT_LIMIT:
+            # Short tail after a sorted head: bisect-insert each
+            # appended posting (the steady interleaved case).
+            rids, positions = self.rids, self.positions
+            timestamps, recs = self.timestamps, self.recs
+            tail = [
+                (rids[k], sizes[k], positions[k],
+                 timestamps[k] if with_ts else 0.0, recs[k])
+                for k in range(head, n)
+            ]
+            del rids[head:], sizes[head:], positions[head:], recs[head:]
+            if with_ts:
+                del timestamps[head:]
+            for rid, size, position, timestamp, rec in tail:
+                k = bisect_right(sizes, size)
+                rids.insert(k, rid)
+                sizes.insert(k, size)
+                positions.insert(k, position)
+                if with_ts:
+                    timestamps.insert(k, timestamp)
+                recs.insert(k, rec)
+        else:
+            order = sorted(range(n), key=sizes.__getitem__)
+            names = (
+                ("rids", "sizes", "positions", "timestamps")
+                if with_ts else ("rids", "sizes", "positions")
+            )
+            for name in names:
+                old = getattr(self, name)
+                setattr(self, name, array(old.typecode, map(old.__getitem__, order)))
+            recs = self.recs
+            self.recs = [recs[k] for k in order]
+        self.sorted_len = len(self.rids)
 
     def compact(self, dead_ks: List[int]) -> None:
         """Drop the (sorted) indices ``dead_ks`` from every column."""
@@ -152,6 +223,9 @@ class _Postings:
             setattr(self, name, array(old.typecode, (old[k] for k in keep)))
         recs = self.recs
         self.recs = [recs[k] for k in keep]
+        # Only the bounded-lazy general path compacts, and it never
+        # relies on size order; conservatively forget it.
+        self.sorted_len = 0
 
     def trim(self) -> None:
         """Physically release the consumed front (eager mode)."""
@@ -215,6 +289,10 @@ class StreamingSetJoin:
         #: Record lifetimes (refcounts) only matter when postings can
         #: expire; with an unbounded window the side table is write-once.
         self._track_refs = self.window.bounded
+        #: The timestamps column is read only when postings can expire
+        #: (lazy liveness checks; eager compact/trim bookkeeping) — an
+        #: unbounded window never needs it, so inserts skip the append.
+        self._track_ts = self.window.bounded
         self._index: Dict[int, _Postings] = {}
         #: rid → Record side table plus per-record live-posting counts;
         #: a Record is released when its last posting expires.
@@ -242,23 +320,23 @@ class StreamingSetJoin:
         timestamp = record.timestamp
         index = self._index
         eager = self._eager
-        sort = self._bisect
+        track_ts = self._track_ts
         inserted = 0
-        for position in range(width):
-            token = tokens[position]
-            if token_filter is not None and not token_filter(token):
-                continue
-            cols = index.get(token)
-            if cols is None:
-                cols = index[token] = _Postings()
-            if sort:
-                k = bisect_right(cols.sizes, size)
-                cols.rids.insert(k, rid)
-                cols.sizes.insert(k, size)
-                cols.positions.insert(k, position)
-                cols.timestamps.insert(k, timestamp)
-                cols.recs.insert(k, record)
-            else:
+        # Always append; lazy-mode probes repair size order on first
+        # touch (``ensure_sorted``), so pure insert streaks never pay
+        # incremental sorted-insert cost. The timestamps column is
+        # maintained only for bounded windows — nothing ever reads it
+        # when postings cannot expire. The two loops differ only in the
+        # eager heap push (hot path: this is the engine's per-posting
+        # cost floor).
+        if eager or track_ts:
+            for position in range(width):
+                token = tokens[position]
+                if token_filter is not None and not token_filter(token):
+                    continue
+                cols = index.get(token)
+                if cols is None:
+                    cols = index[token] = _Postings()
                 if eager:
                     heappush(
                         self._heap, (timestamp, token, cols.base + len(cols.rids))
@@ -268,11 +346,27 @@ class StreamingSetJoin:
                 cols.positions.append(position)
                 cols.timestamps.append(timestamp)
                 cols.recs.append(record)
-            inserted += 1
-        if inserted:
+                inserted += 1
+        else:
+            for position in range(width):
+                token = tokens[position]
+                if token_filter is not None and not token_filter(token):
+                    continue
+                cols = index.get(token)
+                if cols is None:
+                    cols = index[token] = _Postings()
+                cols.rids.append(rid)
+                cols.sizes.append(size)
+                cols.positions.append(position)
+                cols.recs.append(record)
+                inserted += 1
+        if inserted and self._track_refs:
+            # The rid → Record side table exists for expiring windows
+            # (a Record is released when its last posting dies); with
+            # an unbounded window ``recs`` already pins every Record
+            # and nothing ever reads the table, so skip the writes.
             self._records[rid] = record
-            if self._track_refs:
-                self._refcount[rid] = self._refcount.get(rid, 0) + inserted
+            self._refcount[rid] = self._refcount.get(rid, 0) + inserted
         self._live_postings += inserted
         meter.charge("posting_insert", inserted)
         meter.event("postings_inserted", inserted)
@@ -327,6 +421,8 @@ class StreamingSetJoin:
             cols = index.get(token)
             if cols is None:
                 continue
+            if bisected and not check_alive and cols.sorted_len != len(cols.rids):
+                cols.ensure_sorted()
             rids = cols.rids
             sizes = cols.sizes
             positions = cols.positions
@@ -632,6 +728,49 @@ class StreamingSetJoin:
         results = self.probe(record)
         self.insert(record)
         return results
+
+    # -- batched delivery ------------------------------------------------------
+    @contextmanager
+    def batched(self):
+        """Buffer all metering inside the block; flush it once on exit.
+
+        The parallel runtime delivers records in batches; per-record
+        meter flushes (one ``charge_many``/``event_many`` round per
+        probe, one ``charge``/``event`` pair per insert) would dominate
+        small-record workloads. Inside this context the engine meters
+        into a private :class:`WorkMeter` and the aggregate is flushed
+        to the real meter in a single ``charge_many`` + ``event_many``
+        call on exit. Totals are *exactly* those of unbatched execution:
+        operation counts are integers, so summation order cannot
+        diverge, and zero-valued charges survive the round trip (the
+        buffer records them verbatim, preserving counter key sets).
+        Signals flush as their in-batch peak, which is what the meter
+        keeps anyway.
+        """
+        buffer = WorkMeter()
+        real = self.meter
+        self.meter = buffer
+        try:
+            yield
+        finally:
+            self.meter = real
+            if buffer.operations:
+                real.charge_many(dict(buffer.operations))
+            if buffer.events:
+                real.event_many(dict(buffer.events))
+            for name, value in buffer.signals.items():
+                real.signal(name, value)
+
+    def insert_batch(self, records: List[Record]) -> None:
+        """Index every record, flushing the meter once for the batch."""
+        with self.batched():
+            for record in records:
+                self.insert(record)
+
+    def probe_batch(self, records: List[Record]) -> List[List[MatchResult]]:
+        """Probe every record (one meter flush); per-record match lists."""
+        with self.batched():
+            return [self.probe(record) for record in records]
 
     # -- expiration internals --------------------------------------------------
     def _release(self, rid: int) -> None:

@@ -1,0 +1,170 @@
+"""Merging worker results back into one deterministic run report.
+
+Three merges, each with an exactness argument:
+
+* **Matches** — every pair is reported by exactly one shard (the
+  routing schemes are complete and non-duplicating), so the global
+  match set is the disjoint union of per-worker lists; sorting the
+  concatenation by ``(timestamp, rid_a, rid_b)`` (plain tuple order of
+  :data:`~repro.parallel.codec.MatchRow`) gives a total order
+  independent of worker count — ``rid_a`` repeats across a probe's
+  partners but ``(rid_a, rid_b)`` is unique per pair.
+* **Meters** — operation/event counts are integers (see
+  ``WorkMeter.charge_many``), so summing per-shard totals in any order
+  reproduces a serial run's totals bit-for-bit; we still sum in sorted
+  shard order for belt-and-braces determinism. Signals keep the peak,
+  and max() is order-independent.
+* **Timelines** — per-worker ``(start, end)`` monotonic busy spans are
+  rebased to the run start and fed to the ordinary
+  :class:`~repro.obs.timeline.TimelineRecorder` /
+  load-skew health detector, so ``repro.obs`` renders process workers
+  exactly like simulated tasks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.obs.health import HealthMonitor, HealthThresholds
+from repro.obs.registry import ObsRegistry
+from repro.obs.timeline import TimelineRecorder
+from repro.parallel.codec import MatchRow
+
+#: Timeline/health component name for physical worker processes.
+WORKER_COMPONENT = "pworker"
+
+
+def merge_matches(chunks: Iterable[List[MatchRow]]) -> List[MatchRow]:
+    """Concatenate per-worker match lists and impose the canonical
+    order. Workers pre-sort their own lists, so Timsort mostly merges
+    runs."""
+    merged: List[MatchRow] = []
+    for chunk in chunks:
+        merged.extend(chunk)
+    merged.sort()
+    return merged
+
+
+def merge_meters(
+    shard_meters: Dict[int, Dict[str, Dict[str, float]]],
+) -> Tuple[Dict[str, float], Dict[str, float], Dict[str, float]]:
+    """Sum per-shard meter snapshots into run totals.
+
+    ``shard_meters`` maps shard id → ``{"operations": {...},
+    "events": {...}, "signals": {...}}`` (the :class:`ShardWorker`
+    summary format). Returns ``(operations, events, signals)``.
+    """
+    operations: Dict[str, float] = {}
+    events: Dict[str, float] = {}
+    signals: Dict[str, float] = {}
+    for shard in sorted(shard_meters):
+        snapshot = shard_meters[shard]
+        for name, value in snapshot.get("operations", {}).items():
+            operations[name] = operations.get(name, 0.0) + value
+        for name, value in snapshot.get("events", {}).items():
+            events[name] = events.get(name, 0.0) + value
+        for name, value in snapshot.get("signals", {}).items():
+            if name not in signals or value > signals[name]:
+                signals[name] = value
+    return operations, events, signals
+
+
+def parallel_fingerprint(result) -> Dict[str, object]:
+    """A ``repro diff``-comparable fingerprint of a parallel run.
+
+    Same schema as :func:`repro.obs.baseline.fingerprint_from_metrics`:
+    operations become exact ``op:<name>`` counters, events exact
+    plain-name counters (matching how ``WorkMeter`` series surface in a
+    cluster metrics dump), plus ``run_records``/``run_results``. All of
+    these are pure functions of the shard plan — independent of
+    ``--workers``, batch size and executor — so fingerprints of the
+    same workload at different worker counts must compare ``ok``.
+    Nothing wall-clock-dependent is included (``banded`` stays empty):
+    real-time throughput is reported by the bench suite, not gated.
+    """
+    exact: Dict[str, Dict[str, float]] = {}
+    for name in sorted(result.operations):
+        exact[f"op:{name}"] = {"total": result.operations[name], "series": 1}
+    for name in sorted(result.events):
+        exact[name] = {"total": result.events[name], "series": 1}
+    exact["run_records"] = {"total": float(result.records), "series": 1}
+    exact["run_results"] = {"total": float(len(result.matches)), "series": 1}
+    return {
+        "schema": 1,
+        "labels": {
+            "engine": "parallel",
+            "method": result.config.method_label,
+            "shards": str(result.num_shards),
+        },
+        "exact": exact,
+        "banded": {},
+    }
+
+
+def worker_timeline(result) -> TimelineRecorder:
+    """Per-worker busy/idle spans as a standard obs timeline.
+
+    Spans are rebased so 0 is the run start; the recorder merges
+    back-to-back batches, and ``render()``/``as_dict()`` work exactly
+    as for simulated components (the time axis is wall time here).
+    """
+    recorder = TimelineRecorder()
+    base = result.started
+    for stats in result.worker_stats:
+        worker = stats["worker"]
+        for start, end in stats["intervals"]:
+            recorder.record(
+                WORKER_COMPONENT, worker, max(0.0, start - base), max(0.0, end - base)
+            )
+    if result.wall_s > recorder.horizon:
+        recorder.horizon = result.wall_s
+    return recorder
+
+
+class _WorkerBusyRegistry:
+    """Duck-typed stand-in for ``MetricsRegistry`` in
+    :meth:`HealthMonitor.finalize`: per-worker busy seconds plus an
+    :class:`ObsRegistry` for the health-event gauges."""
+
+    def __init__(self, busy: List[float]):
+        self._busy = busy
+        self.obs = ObsRegistry()
+
+    def busy_by_component(self) -> Dict[str, List[float]]:
+        return {WORKER_COMPONENT: list(self._busy)}
+
+
+def worker_health(
+    result, thresholds: Optional[HealthThresholds] = None
+) -> HealthMonitor:
+    """Run the end-of-run health detectors over a parallel result.
+
+    The load-skew detector sees per-worker busy seconds (a straggler
+    process reads exactly like a straggler task). The driver's routing
+    observations are replayed with their true peak (the one-shot
+    critical alert) and true average (the run-end warning), and engine
+    health signals (e.g. expiration lag) replay their peaks — the
+    peak is exactly what those one-shot detectors key on.
+    """
+    monitor = HealthMonitor(thresholds)
+    for name, value in sorted(result.signals.items()):
+        if name == "routing_fanout_fraction":
+            continue  # replayed below with exact average semantics
+        monitor.on_signal("driver", 0, result.wall_s, name, value)
+    fanout = result.routing_fanout
+    if fanout["count"]:
+        # One observation at the peak drives the one-shot critical
+        # detector through its public path; then restore the true
+        # total/count so finalize's average-based warning sees exactly
+        # what per-record observations would have accumulated.
+        monitor.on_signal(
+            "driver", 0, 0.0, "routing_fanout_fraction", fanout["peak"]
+        )
+        stats = monitor._fanout[("driver", 0)]
+        stats.total = fanout["total"]
+        stats.count = fanout["count"]
+    busy = [stats["busy_s"] for stats in result.worker_stats]
+    monitor.finalize(
+        _WorkerBusyRegistry(busy), result.wall_s, join_component=WORKER_COMPONENT
+    )
+    return monitor

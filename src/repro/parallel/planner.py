@@ -1,0 +1,98 @@
+"""Shard planning: how records map to engine shards and shards to workers.
+
+The key determinism decision of the runtime: **logical shards are
+decoupled from physical workers**. The stream is routed over a fixed
+number of shards (``config.num_workers``, the same sharding the
+simulated cluster uses), each backed by its own
+:class:`~repro.core.local_join.StreamingSetJoin`; the ``--workers N``
+process count only decides which OS process *hosts* each shard
+(``shard % N``). Every shard therefore sees exactly the same record
+subsequence — in arrival order, because routing happens in the driver
+and per-shard delivery is FIFO — regardless of how many processes run.
+Match sets, ``WorkMeter`` totals and fingerprints are a pure function
+of the shard plan, which is why the differential harness can demand
+bit-equality across worker counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.config import JoinConfig
+from repro.partition.length_partition import LengthPartition
+from repro.records import Record
+from repro.routing.base import Router, RoutingDecision
+from repro.routing.plan import plan_routing
+from repro.similarity.functions import SimilarityFunction, get_similarity
+
+
+@dataclass
+class ShardPlan:
+    """The routing side of one parallel run, fixed before any IPC."""
+
+    config: JoinConfig
+    router: Router
+    partition: Optional[LengthPartition]
+    func: SimilarityFunction = field(repr=False)
+
+    @property
+    def num_shards(self) -> int:
+        """Actual shard count — the router's, which can be below the
+        requested count when a length partition cannot split further."""
+        return self.router.num_workers
+
+    def route(self, record: Record) -> RoutingDecision:
+        return self.router.route(record)
+
+    def tasks(self, record: Record) -> List[Tuple[int, int]]:
+        """``(shard, op)`` pairs for one record, in the dispatcher's
+        order (ascending shard; op combines probe/index bits exactly
+        like the ``"p"/"i"/"b"`` message kinds)."""
+        from repro.parallel.codec import INDEX, PROBE
+
+        decision = self.router.route(record)
+        index_set = set(decision.index_tasks)
+        probe_set = set(decision.probe_tasks)
+        out = []
+        for shard in sorted(index_set | probe_set):
+            op = 0
+            if shard in probe_set:
+                op |= PROBE
+            if shard in index_set:
+                op |= INDEX
+            out.append((shard, op))
+        return out
+
+    def shards_of_worker(self, worker: int, workers: int) -> List[int]:
+        """The shards hosted by physical worker ``worker`` of ``workers``."""
+        return [s for s in range(self.num_shards) if s % workers == worker]
+
+
+def plan_shards(
+    config: JoinConfig,
+    corpus: Sequence[Tuple[int, ...]],
+    num_shards: Optional[int] = None,
+) -> ShardPlan:
+    """Plan the shard routing for ``config`` over a corpus sample.
+
+    ``corpus`` is the stream's token tuples (only the first
+    ``config.sample_size`` are consulted, mirroring
+    :meth:`DistributedStreamJoin.plan`). ``num_shards`` overrides the
+    config's shard count for experiments; leaving it at the default
+    keeps parallel observables comparable with the simulated cluster.
+    """
+    if config.use_bundles:
+        raise ValueError(
+            "the parallel runtime does not support bundles: the bundle "
+            "engine reuses home-worker probe results, which the "
+            "process-sharded driver does not observe"
+        )
+    shards = config.num_workers if num_shards is None else num_shards
+    if shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {shards}")
+    func = get_similarity(config.similarity, config.threshold)
+    router, partition = plan_routing(
+        config, func, corpus[: config.sample_size], num_workers=shards
+    )
+    return ShardPlan(config=config, router=router, partition=partition, func=func)

@@ -1,0 +1,447 @@
+"""The driver: feed a record stream through sharded worker processes.
+
+Execution model::
+
+    driver                          worker 0..W-1 (processes)
+    ------                          -------------------------
+    plan shards (router)            build engines for its shards
+    route each record ──batches──>  probe/insert under one meter
+    send EOF                        flush per batch
+    drain matches + summaries <──   sort + stream matches, summary
+    merge (sort, sum meters)
+
+Determinism: the stream is routed over ``num_shards`` logical shards
+(default ``config.num_workers``) regardless of the physical worker
+count; each shard receives its records in arrival order (driver routes
+sequentially, per-worker pipes are FIFO, and a worker processes frames
+in receive order), so every shard engine performs the identical
+operation sequence for any ``workers``/``batch_size``/executor choice.
+The merged observables — match rows in ``(timestamp, rid_a, rid_b)``
+order, summed integer meter totals — are therefore bit-identical
+across configurations, which the differential tests and the ``repro
+diff`` fingerprint gate both assert.
+
+Three executors:
+
+* ``"process"`` — real ``multiprocessing`` workers (the point).
+* ``"inline"``  — same :class:`ShardWorker` code and codec round-trip,
+  driven in-process: the single-core fallback and what the
+  differential tests use to cover worker-count grids cheaply.
+* :func:`run_serial` — no batching, no codec, direct per-record
+  engine calls: the ground truth the other two must reproduce.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import JoinConfig
+from repro.core.metering import WorkMeter
+from repro.parallel.codec import (
+    INDEX,
+    PROBE,
+    MatchRow,
+    decode_match_batch,
+    decode_record_batch,
+    encode_record_batch,
+)
+from repro.parallel.merge import (
+    merge_matches,
+    merge_meters,
+    parallel_fingerprint,
+    worker_health,
+    worker_timeline,
+)
+from repro.parallel.planner import ShardPlan, plan_shards
+from repro.parallel.worker import (
+    TAG_BATCH,
+    TAG_DONE,
+    TAG_EOF,
+    TAG_ERROR,
+    TAG_MATCHES,
+    ShardWorker,
+    build_shard_engine,
+    worker_main,
+)
+from repro.records import Record
+
+_U32 = struct.Struct("<I")
+
+EXECUTORS = ("process", "inline")
+
+
+class ParallelWorkerError(RuntimeError):
+    """A worker process failed; carries its formatted traceback."""
+
+
+@dataclass
+class ParallelJoinResult:
+    """Everything one parallel run produced, already merged."""
+
+    config: JoinConfig
+    num_shards: int
+    workers: int
+    batch_size: int
+    executor: str
+    records: int
+    #: Canonically ordered ``(timestamp, rid_a, rid_b, overlap,
+    #: similarity)`` rows — ``rid_a`` is the later (probing) record.
+    matches: List[MatchRow]
+    operations: Dict[str, float]
+    events: Dict[str, float]
+    signals: Dict[str, float]
+    #: Raw per-shard meter snapshots (summary format of
+    #: :meth:`ShardWorker.finish`), for per-shard inspection.
+    shard_meters: Dict[int, dict] = field(repr=False)
+    #: Per physical worker: ``{"worker", "shards", "records",
+    #: "batches", "busy_s", "intervals"}``.
+    worker_stats: List[dict] = field(repr=False)
+    #: Driver-observed routing fanout: ``{"total", "count", "peak"}``
+    #: of the per-record reached-shards fraction.
+    routing_fanout: Dict[str, float] = field(repr=False)
+    #: Monotonic clock value at run start (base for worker intervals).
+    started: float = 0.0
+    wall_s: float = 0.0
+
+    @property
+    def results(self) -> int:
+        return len(self.matches)
+
+    @property
+    def throughput(self) -> float:
+        """Records per wall-clock second (0 for an empty run)."""
+        return self.records / self.wall_s if self.wall_s > 0 else 0.0
+
+    def operation(self, name: str) -> float:
+        return self.operations.get(name, 0.0)
+
+    def count(self, name: str) -> float:
+        return self.events.get(name, 0.0)
+
+    def fingerprint(self) -> Dict[str, object]:
+        """``repro diff``-comparable digest (worker-count independent)."""
+        return parallel_fingerprint(self)
+
+    def timeline(self):
+        """Per-worker busy/idle :class:`TimelineRecorder` (wall time)."""
+        return worker_timeline(self)
+
+    def health(self, thresholds=None):
+        """Finalized :class:`HealthMonitor` (load skew across workers,
+        routing fanout, engine signals)."""
+        return worker_health(self, thresholds)
+
+
+def _corpus_of(stream, records: Sequence[Record]) -> Sequence[Tuple[int, ...]]:
+    corpus = getattr(stream, "corpus", None)
+    if corpus is not None:
+        return corpus
+    return [record.tokens for record in records]
+
+
+class ParallelJoinRunner:
+    """Runs one config over real cores. See the module docstring.
+
+    ``workers`` is the physical process count (capped at the shard
+    count — an extra process would host zero shards); ``num_shards``
+    defaults to ``config.num_workers`` so parallel runs shard the
+    stream exactly like the simulated cluster; ``batch_size`` defaults
+    to ``config.batch_size``.
+    """
+
+    def __init__(
+        self,
+        config: JoinConfig,
+        workers: int = 1,
+        num_shards: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        executor: str = "process",
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
+        if batch_size is None:
+            batch_size = config.batch_size
+        elif batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.config = config
+        self.workers = workers
+        self.num_shards = num_shards
+        self.batch_size = batch_size
+        self.executor = executor
+        self.start_method = start_method
+
+    # -- execution -----------------------------------------------------------
+    def run(self, stream) -> ParallelJoinResult:
+        """Route ``stream`` (a RecordStream or record iterable) through
+        the workers; block until merged."""
+        started = time.monotonic()
+        records = list(stream)
+        plan = plan_shards(
+            self.config, _corpus_of(stream, records), self.num_shards
+        )
+        shards = plan.num_shards
+        workers = max(1, min(self.workers, shards))
+        assignment = [plan.shards_of_worker(w, workers) for w in range(workers)]
+
+        if self.executor == "process":
+            chunks, summaries = self._run_process(
+                plan, records, workers, assignment
+            )
+        else:
+            chunks, summaries = self._run_inline(
+                plan, records, workers, assignment
+            )
+
+        return self._merge(plan, records, workers, chunks, summaries, started)
+
+    def _feed(self, plan: ShardPlan, records, send) -> Dict[str, float]:
+        """Route records into per-shard batches; ``send(shard, items)``
+        ships one full batch. Returns the driver's fanout stats."""
+        shards = plan.num_shards
+        batch_size = self.batch_size
+        buffers: List[List[Tuple[int, Record]]] = [[] for _ in range(shards)]
+        fanout_total = 0.0
+        fanout_peak = 0.0
+        count = 0
+        for record in records:
+            tasks = plan.tasks(record)
+            fraction = len(tasks) / shards
+            fanout_total += fraction
+            if fraction > fanout_peak:
+                fanout_peak = fraction
+            count += 1
+            for shard, op in tasks:
+                buffer = buffers[shard]
+                buffer.append((op, record))
+                if len(buffer) >= batch_size:
+                    send(shard, buffer)
+                    buffer.clear()
+        for shard, buffer in enumerate(buffers):
+            if buffer:
+                send(shard, buffer)
+                buffer.clear()
+        return {"total": fanout_total, "count": count, "peak": fanout_peak}
+
+    def _run_process(self, plan, records, workers, assignment):
+        import multiprocessing as mp
+
+        ctx = mp.get_context(self.start_method)
+        conns = []
+        procs = []
+        try:
+            for w in range(workers):
+                parent, child = ctx.Pipe(duplex=True)
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(child, w, self.config, assignment[w], plan.num_shards),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                conns.append(parent)
+                procs.append(proc)
+
+            def send(shard: int, items) -> None:
+                conns[shard % workers].send_bytes(
+                    bytes([TAG_BATCH])
+                    + _U32.pack(shard)
+                    + encode_record_batch(items)
+                )
+
+            self._fanout = self._feed(plan, records, send)
+            for conn in conns:
+                conn.send_bytes(bytes([TAG_EOF]))
+
+            chunks: List[List[MatchRow]] = []
+            summaries = []
+            for w, conn in enumerate(conns):
+                rows: List[MatchRow] = []
+                while True:
+                    try:
+                        msg = conn.recv_bytes()
+                    except EOFError:
+                        raise ParallelWorkerError(
+                            f"worker {w} exited without a summary "
+                            f"(killed or crashed before reporting)"
+                        ) from None
+                    tag = msg[0]
+                    if tag == TAG_MATCHES:
+                        rows.extend(decode_match_batch(msg[1:]))
+                    elif tag == TAG_DONE:
+                        summaries.append(pickle.loads(msg[1:]))
+                        break
+                    elif tag == TAG_ERROR:
+                        raise ParallelWorkerError(pickle.loads(msg[1:]))
+                    else:
+                        raise ParallelWorkerError(
+                            f"worker {w} sent unknown frame tag {tag}"
+                        )
+                chunks.append(rows)
+            for proc in procs:
+                proc.join()
+            return chunks, summaries
+        finally:
+            for conn in conns:
+                conn.close()
+            for proc in procs:
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join()
+
+    def _run_inline(self, plan, records, workers, assignment):
+        pool = [
+            ShardWorker(self.config, assignment[w], plan.num_shards)
+            for w in range(workers)
+        ]
+
+        def send(shard: int, items) -> None:
+            # Round-trip through the codec so inline runs exercise the
+            # exact wire path (and records arrive re-materialized, as
+            # they would from a pipe).
+            pool[shard % workers].process_batch(
+                shard, decode_record_batch(encode_record_batch(items))
+            )
+
+        self._fanout = self._feed(plan, records, send)
+        summaries = [worker.finish() for worker in pool]
+        return [worker.matches for worker in pool], summaries
+
+    def _merge(
+        self, plan, records, workers, chunks, summaries, started
+    ) -> ParallelJoinResult:
+        shard_meters: Dict[int, dict] = {}
+        worker_stats = []
+        for w, summary in enumerate(summaries):
+            shard_meters.update(summary["meters"])
+            worker_stats.append(
+                {
+                    "worker": w,
+                    "shards": plan.shards_of_worker(w, workers),
+                    "records": summary["records"],
+                    "batches": summary["batches"],
+                    "busy_s": summary["busy_s"],
+                    "intervals": summary["intervals"],
+                }
+            )
+        operations, events, signals = merge_meters(shard_meters)
+        fanout = getattr(self, "_fanout", {"total": 0.0, "count": 0, "peak": 0.0})
+        if fanout["count"]:
+            peak = fanout["peak"]
+            if (
+                "routing_fanout_fraction" not in signals
+                or peak > signals["routing_fanout_fraction"]
+            ):
+                signals["routing_fanout_fraction"] = peak
+        return ParallelJoinResult(
+            config=self.config,
+            num_shards=plan.num_shards,
+            workers=workers,
+            batch_size=self.batch_size,
+            executor=self.executor,
+            records=len(records),
+            matches=merge_matches(chunks),
+            operations=operations,
+            events=events,
+            signals=signals,
+            shard_meters=shard_meters,
+            worker_stats=worker_stats,
+            routing_fanout=fanout,
+            started=started,
+            wall_s=time.monotonic() - started,
+        )
+
+
+def run_serial(
+    config: JoinConfig, stream, num_shards: Optional[int] = None
+) -> ParallelJoinResult:
+    """Ground-truth serial execution of the identical sharded workload.
+
+    Same shard plan, same engines, same per-record schedule — but no
+    batching, no codec, no processes: every probe/insert hits its
+    engine directly and meters per record. The parallel runtime must
+    reproduce this result bit-for-bit on every observable; the
+    differential tests diff against this function.
+    """
+    started = time.monotonic()
+    records = list(stream)
+    plan = plan_shards(config, _corpus_of(stream, records), num_shards)
+    shards = plan.num_shards
+    meters = {shard: WorkMeter() for shard in range(shards)}
+    engines = {
+        shard: build_shard_engine(config, plan.func, shard, shards, meters[shard])
+        for shard in range(shards)
+    }
+    matches: List[MatchRow] = []
+    fanout_total = 0.0
+    fanout_peak = 0.0
+    for record in records:
+        tasks = plan.tasks(record)
+        fraction = len(tasks) / shards
+        fanout_total += fraction
+        if fraction > fanout_peak:
+            fanout_peak = fraction
+        for shard, op in tasks:
+            engine = engines[shard]
+            if op & PROBE:
+                found = engine.probe(record)
+                meters[shard].event("results", len(found))
+                ts, rid = record.timestamp, record.rid
+                for m in found:
+                    matches.append((ts, rid, m.partner.rid, m.overlap, m.similarity))
+            if op & INDEX:
+                engine.insert(record)
+    for shard in range(shards):
+        meters[shard].event("final_postings", engines[shard].live_postings)
+    matches.sort()
+
+    shard_meters = {
+        shard: {
+            "operations": dict(meter.operations),
+            "events": dict(meter.events),
+            "signals": dict(meter.signals),
+        }
+        for shard, meter in meters.items()
+    }
+    operations, events, signals = merge_meters(shard_meters)
+    fanout = {"total": fanout_total, "count": len(records), "peak": fanout_peak}
+    if fanout["count"] and (
+        "routing_fanout_fraction" not in signals
+        or fanout_peak > signals["routing_fanout_fraction"]
+    ):
+        signals["routing_fanout_fraction"] = fanout_peak
+    wall_s = time.monotonic() - started
+    return ParallelJoinResult(
+        config=config,
+        num_shards=shards,
+        workers=1,
+        batch_size=0,
+        executor="serial",
+        records=len(records),
+        matches=matches,
+        operations=operations,
+        events=events,
+        signals=signals,
+        shard_meters=shard_meters,
+        worker_stats=[
+            {
+                "worker": 0,
+                "shards": list(range(shards)),
+                "records": len(records),
+                "batches": 0,
+                "busy_s": wall_s,
+                "intervals": [(started, started + wall_s)],
+            }
+        ],
+        routing_fanout=fanout,
+        started=started,
+        wall_s=wall_s,
+    )

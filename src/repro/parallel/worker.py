@@ -1,0 +1,224 @@
+"""The worker side of the parallel runtime.
+
+A physical worker process hosts one or more logical shards, each a
+:class:`~repro.core.local_join.StreamingSetJoin` built exactly the way
+:class:`~repro.core.bolts.JoinBolt` builds its engine for task index
+``shard`` of ``num_shards`` — same window, same expiry mode, same
+prefix-ownership token filter and dedup/cross-source pair filters — so
+a shard behaves identically whether it runs inside the simulated
+cluster, inline in the driver, or in a forked process.
+
+Wire protocol (one :func:`multiprocessing.Pipe` per worker, message =
+one ``send_bytes`` frame, first byte = tag):
+
+    driver → worker   TAG_BATCH  u32 shard + record batch (codec)
+                      TAG_EOF    (empty)
+    worker → driver   TAG_MATCHES  match batch (codec), repeated
+                      TAG_DONE     pickled summary dict
+                      TAG_ERROR    pickled traceback string
+
+Deadlock freedom: workers send **nothing** until they receive EOF —
+matches accumulate locally — so while the driver is feeding batches
+its reads can't be required to unblock anyone; after it sends EOF to
+every worker it switches to draining, and workers blocked writing a
+large match chunk proceed as soon as their turn is read.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import time
+import traceback
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import JoinConfig
+from repro.core.dedup import PrefixDedupFilter
+from repro.core.local_join import StreamingSetJoin
+from repro.core.metering import WorkMeter
+from repro.core.two_stream import cross_source_filter
+from repro.parallel.codec import (
+    INDEX,
+    PROBE,
+    MatchRow,
+    decode_record_batch,
+    encode_match_batch,
+)
+from repro.records import Record
+from repro.routing.prefix_router import token_owner
+from repro.similarity.functions import SimilarityFunction, get_similarity
+from repro.streams.window import SlidingWindow
+
+TAG_BATCH = 0x01
+TAG_EOF = 0x02
+TAG_MATCHES = 0x11
+TAG_DONE = 0x12
+TAG_ERROR = 0x7F
+
+#: Rows per TAG_MATCHES frame — bounds peak frame size (~40 bytes/row).
+MATCH_CHUNK = 16384
+
+_U32 = struct.Struct("<I")
+
+
+def build_shard_engine(
+    config: JoinConfig,
+    func: SimilarityFunction,
+    shard: int,
+    num_shards: int,
+    meter: WorkMeter,
+) -> StreamingSetJoin:
+    """The engine for logical shard ``shard`` of ``num_shards`` —
+    field-for-field the engine :meth:`JoinBolt.prepare` would build for
+    the same task index, so shard observables match the simulated
+    cluster's."""
+    window = SlidingWindow(config.window_seconds)
+    cross = cross_source_filter if config.cross_source_only else None
+    if config.distribution == "prefix":
+        dedup = PrefixDedupFilter(shard, num_shards, func, meter)
+        pair_filter = dedup
+        if cross is not None:
+
+            def pair_filter(r, s, _dedup=dedup):  # noqa: E731
+                return cross_source_filter(r, s) and _dedup(r, s)
+
+        return StreamingSetJoin(
+            func,
+            window=window,
+            meter=meter,
+            token_filter=lambda token: token_owner(token, num_shards) == shard,
+            pair_filter=pair_filter,
+            expiry=config.expiry,
+        )
+    return StreamingSetJoin(
+        func,
+        window=window,
+        meter=meter,
+        pair_filter=cross,
+        expiry=config.expiry,
+    )
+
+
+class ShardWorker:
+    """Executes batches against the shards hosted by one worker.
+
+    Used by the forked worker process *and* by the runtime's inline
+    executor (single-core fallback / differential tests) — one code
+    path, so inline and process runs cannot drift apart.
+    """
+
+    def __init__(
+        self, config: JoinConfig, shard_ids: Sequence[int], num_shards: int
+    ):
+        self.config = config
+        self.num_shards = num_shards
+        self.func = get_similarity(config.similarity, config.threshold)
+        self.meters: Dict[int, WorkMeter] = {}
+        self.engines: Dict[int, StreamingSetJoin] = {}
+        for shard in shard_ids:
+            meter = WorkMeter()
+            self.meters[shard] = meter
+            self.engines[shard] = build_shard_engine(
+                config, self.func, shard, num_shards, meter
+            )
+        self.matches: List[MatchRow] = []
+        self.records = 0
+        self.batches = 0
+        self.busy_s = 0.0
+        #: ``(start, end)`` monotonic spans of batch processing, for the
+        #: driver's busy/idle timeline.
+        self.intervals: List[Tuple[float, float]] = []
+
+    def process_batch(
+        self, shard: int, items: Sequence[Tuple[int, Record]]
+    ) -> None:
+        start = time.monotonic()
+        engine = self.engines[shard]
+        meter = self.meters[shard]
+        rows = self.matches
+        # One meter flush per batch (charge_many/event_many exactness
+        # contract): totals stay bit-identical to per-record metering.
+        with engine.batched():
+            for op, record in items:
+                if op & PROBE:
+                    matches = engine.probe(record)
+                    meter.event("results", len(matches))
+                    if matches:
+                        ts, rid = record.timestamp, record.rid
+                        for m in matches:
+                            rows.append(
+                                (ts, rid, m.partner.rid, m.overlap, m.similarity)
+                            )
+                if op & INDEX:
+                    engine.insert(record)
+        end = time.monotonic()
+        self.records += len(items)
+        self.batches += 1
+        self.busy_s += end - start
+        self.intervals.append((start, end))
+
+    def finish(self) -> dict:
+        """Final-postings events, canonical match order, summary dict."""
+        for shard in sorted(self.engines):
+            self.meters[shard].event(
+                "final_postings", self.engines[shard].live_postings
+            )
+        self.matches.sort()
+        return {
+            "meters": {
+                shard: {
+                    "operations": dict(meter.operations),
+                    "events": dict(meter.events),
+                    "signals": dict(meter.signals),
+                }
+                for shard, meter in self.meters.items()
+            },
+            "records": self.records,
+            "batches": self.batches,
+            "busy_s": self.busy_s,
+            "intervals": list(self.intervals),
+        }
+
+
+def worker_main(
+    conn,
+    worker_id: int,
+    config: JoinConfig,
+    shard_ids: Sequence[int],
+    num_shards: int,
+) -> None:
+    """Child-process entry point (module-level: spawn-context picklable)."""
+    try:
+        worker = ShardWorker(config, shard_ids, num_shards)
+        while True:
+            msg = conn.recv_bytes()
+            tag = msg[0]
+            if tag == TAG_BATCH:
+                (shard,) = _U32.unpack_from(msg, 1)
+                worker.process_batch(
+                    shard, decode_record_batch(msg[1 + _U32.size :])
+                )
+            elif tag == TAG_EOF:
+                summary = worker.finish()
+                rows = worker.matches
+                for i in range(0, len(rows), MATCH_CHUNK):
+                    conn.send_bytes(
+                        bytes([TAG_MATCHES])
+                        + encode_match_batch(rows[i : i + MATCH_CHUNK])
+                    )
+                conn.send_bytes(bytes([TAG_DONE]) + pickle.dumps(summary))
+                return
+            else:
+                raise ValueError(f"worker {worker_id}: unknown frame tag {tag}")
+    except Exception:
+        try:
+            conn.send_bytes(
+                bytes([TAG_ERROR])
+                + pickle.dumps(
+                    f"worker {worker_id} failed:\n{traceback.format_exc()}"
+                )
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()

@@ -77,6 +77,81 @@ class TestJoin:
             main(["join", str(corpus_file), "--expiry", "never"])
 
 
+class TestJoinParallel:
+    @pytest.fixture
+    def corpus_file(self, tmp_path):
+        path = tmp_path / "p.txt"
+        path.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\nomega psi chi rho\n"
+        )
+        return path
+
+    def test_parallel_join_summary(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--workers", "2", "--threshold", "0.7"]) == 0
+        out = capsys.readouterr().out
+        assert "workers" in out and "shards" in out
+
+    def test_parallel_pairs_match_simulated(self, corpus_file, capsys):
+        def pair_lines(extra):
+            assert main(["join", str(corpus_file), "--threshold", "0.7",
+                         "--pairs"] + extra) == 0
+            out = capsys.readouterr().out
+            return sorted(l for l in out.splitlines()
+                          if l and l[0].isdigit())
+        assert pair_lines(["--parallel", "--workers", "2"]) == pair_lines([])
+
+    def test_parallel_fingerprint_stable_across_workers(
+        self, corpus_file, tmp_path, capsys
+    ):
+        fps = []
+        for workers in ("1", "3"):
+            path = tmp_path / f"fp{workers}.json"
+            assert main(["join", str(corpus_file), "--parallel",
+                         "--workers", workers, "--threshold", "0.7",
+                         "--fingerprint-out", str(path)]) == 0
+            fps.append(json.loads(path.read_text()))
+        assert fps[0] == fps[1]
+        capsys.readouterr()
+
+    def test_parallel_health_out(self, corpus_file, tmp_path, capsys):
+        health = tmp_path / "health.jsonl"
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--distribution", "broadcast",
+                     "--health-out", str(health)]) == 0
+        assert health.exists()
+        out = capsys.readouterr().out
+        assert "health:" in out
+
+    def test_rejects_bad_workers(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_rejects_bad_batch_size(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--batch-size", "0"]) == 2
+        assert "batch_size" in capsys.readouterr().err
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--batch-size", "99999999"]) == 2
+        assert "absurd" in capsys.readouterr().err
+
+    def test_rejects_bad_shards(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--shards", "-1"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_rejects_bundles(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--bundles"]) == 2
+        assert "--bundles" in capsys.readouterr().err
+
+    def test_rejects_trace_out(self, corpus_file, tmp_path, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--trace-out", str(tmp_path / "t.jsonl")]) == 2
+        assert "simulated cluster" in capsys.readouterr().err
+
+
 class TestBench:
     def test_bench_prints_method_table(self, capsys, tmp_path):
         summary = tmp_path / "BENCH_summary.json"
@@ -117,6 +192,41 @@ class TestBench:
     def test_bench_wallclock_rejects_bad_repeats(self, capsys):
         assert main(["bench", "--wallclock", "--repeats", "0"]) == 2
         assert "--repeats" in capsys.readouterr().err
+
+    def test_bench_wallclock_smoke_scale_with_sweep(self, capsys, tmp_path):
+        out = tmp_path / "wc.json"
+        assert main(["bench", "--wallclock", "--repeats", "1",
+                     "--wallclock-scale", "smoke", "--workers", "2",
+                     "--wallclock-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        scaling = payload["parallel"]["scaling"]
+        assert set(scaling["workers"]) == {"1", "2"}
+        for entry in scaling["workers"].values():
+            assert all(entry["correctness"].values())
+            assert entry["throughput_rps"] > 0
+        assert scaling["host_cpus"] >= 1
+        assert "parallel scaling" in capsys.readouterr().out
+
+    def test_bench_wallclock_rejects_bad_scale(self, capsys):
+        assert main(["bench", "--wallclock",
+                     "--wallclock-scale", "0"]) == 2
+        assert "--wallclock-scale" in capsys.readouterr().err
+        assert main(["bench", "--wallclock",
+                     "--wallclock-scale", "fast"]) == 2
+        assert "smoke" in capsys.readouterr().err
+
+    def test_bench_wallclock_rejects_bad_workers(self, capsys):
+        assert main(["bench", "--wallclock", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_bench_wallclock_no_parallel_sweep(self, capsys, tmp_path):
+        out = tmp_path / "wc.json"
+        assert main(["bench", "--wallclock", "--repeats", "1",
+                     "--wallclock-scale", "0.03", "--no-parallel-sweep",
+                     "--wallclock-out", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert "parallel" not in payload
+        capsys.readouterr()
 
 
 class TestTrace:

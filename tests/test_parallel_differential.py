@@ -1,0 +1,222 @@
+"""Differential harness: the parallel runtime vs. serial ground truth.
+
+The tentpole contract — parallel execution is *bit-identical* to a
+serial run of the same shard plan on every observable: match rows
+(values and order), operation totals, event totals, signal peaks and
+the ``repro diff`` fingerprint — across worker counts, batch sizes,
+expiry modes and routing schemes.
+
+The full grid runs on the inline executor (same ``ShardWorker`` code
+and codec round-trip as the process path, no fork cost); a smaller
+process-executor grid covers real IPC and skips gracefully on hosts
+where multiprocessing is unavailable.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.obs.baseline import compare_fingerprints
+from repro.parallel import ParallelJoinRunner, run_serial
+from repro.records import Record
+
+WORKER_COUNTS = (1, 2, 3, 7)
+
+
+def fuzz_records(seed: int, n: int = 400, sources: bool = False):
+    rng = random.Random(seed)
+    vocabulary = 120
+    records = []
+    clock = 0.0
+    for rid in range(n):
+        clock += rng.expovariate(50.0)
+        if records and rng.random() < 0.35:
+            # Near-duplicate of an earlier record (drop or add one
+            # token) so every stream reliably produces matches.
+            base = list(rng.choice(records[-50:]).tokens)
+            if len(base) > 1 and rng.random() < 0.5:
+                base.pop(rng.randrange(len(base)))
+            else:
+                extra = rng.randrange(vocabulary)
+                if extra not in base:
+                    base.append(extra)
+            tokens = tuple(sorted(base))
+        else:
+            size = rng.randint(1, 14)
+            tokens = tuple(sorted(rng.sample(range(vocabulary), size)))
+        records.append(
+            Record(
+                rid=rid,
+                tokens=tokens,
+                timestamp=round(clock, 6),
+                source=(rng.choice(("L", "R")) if sources else ""),
+            )
+        )
+    return records
+
+
+def assert_equal_observables(serial, result, context):
+    assert result.matches == serial.matches, f"{context}: match rows differ"
+    assert result.operations == serial.operations, (
+        f"{context}: operation totals differ"
+    )
+    assert result.events == serial.events, f"{context}: event totals differ"
+    assert result.signals == serial.signals, f"{context}: signal peaks differ"
+    verdict = compare_fingerprints(serial.fingerprint(), result.fingerprint())
+    assert verdict["status"] == "ok", f"{context}: {verdict['failures']}"
+
+
+def try_process_run(runner, records):
+    """Run on real processes, or skip when the host forbids them."""
+    try:
+        return runner.run(records)
+    except (ImportError, OSError, PermissionError) as error:
+        pytest.skip(f"multiprocessing unavailable on this host: {error}")
+
+
+class TestInlineGrid:
+    """The full differential grid on the inline executor."""
+
+    @pytest.mark.parametrize("distribution", ["length", "prefix"])
+    @pytest.mark.parametrize("expiry", ["lazy", "eager"])
+    def test_workers_grid(self, distribution, expiry):
+        window = 2.0 if expiry == "eager" else math.inf
+        config = JoinConfig(
+            threshold=0.6,
+            distribution=distribution,
+            expiry=expiry,
+            window_seconds=window,
+        )
+        seed = {"length": 100, "prefix": 200}[distribution] + {
+            "lazy": 1, "eager": 2
+        }[expiry]
+        records = fuzz_records(seed=seed)
+        serial = run_serial(config, records)
+        assert serial.results > 0, "fuzz stream produced no matches"
+        for workers in WORKER_COUNTS:
+            result = ParallelJoinRunner(
+                config, workers=workers, executor="inline", batch_size=64
+            ).run(records)
+            assert_equal_observables(
+                serial, result, f"{distribution}/{expiry}/workers={workers}"
+            )
+
+    @pytest.mark.parametrize("batch_size", [1, 7, 64, 10_000])
+    def test_batch_size_invariance(self, batch_size):
+        config = JoinConfig(threshold=0.7)
+        records = fuzz_records(seed=99)
+        serial = run_serial(config, records)
+        result = ParallelJoinRunner(
+            config, workers=3, executor="inline", batch_size=batch_size
+        ).run(records)
+        assert_equal_observables(serial, result, f"batch={batch_size}")
+
+    def test_broadcast_scheme(self):
+        config = JoinConfig(threshold=0.6, distribution="broadcast")
+        records = fuzz_records(seed=5)
+        serial = run_serial(config, records)
+        for workers in (1, 3):
+            result = ParallelJoinRunner(
+                config, workers=workers, executor="inline"
+            ).run(records)
+            assert_equal_observables(serial, result, f"broadcast/w={workers}")
+
+    def test_cross_source_two_stream(self):
+        config = JoinConfig(
+            threshold=0.6, distribution="prefix", cross_source_only=True
+        )
+        records = fuzz_records(seed=17, sources=True)
+        serial = run_serial(config, records)
+        for ts, rid_a, rid_b, _, _ in serial.matches:
+            a = records[rid_a]
+            b = records[rid_b]
+            assert a.source != b.source
+        result = ParallelJoinRunner(
+            config, workers=2, executor="inline"
+        ).run(records)
+        assert_equal_observables(serial, result, "cross-source")
+
+    def test_out_of_order_timestamps_with_window(self):
+        rng = random.Random(31)
+        records = []
+        for rid in range(300):
+            size = rng.randint(1, 10)
+            tokens = tuple(sorted(rng.sample(range(80), size)))
+            # Arrival order is rid order, but event timestamps jitter
+            # backwards — the lazy window must handle both identically.
+            records.append(
+                Record(
+                    rid=rid,
+                    tokens=tokens,
+                    timestamp=round(rid * 0.01 + rng.uniform(-0.05, 0.0), 6),
+                )
+            )
+        config = JoinConfig(threshold=0.6, window_seconds=1.0)
+        serial = run_serial(config, records)
+        result = ParallelJoinRunner(
+            config, workers=3, executor="inline", batch_size=32
+        ).run(records)
+        assert_equal_observables(serial, result, "out-of-order")
+
+    def test_match_rows_canonically_ordered(self):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=8)
+        result = ParallelJoinRunner(
+            config, workers=2, executor="inline"
+        ).run(records)
+        assert result.matches == sorted(result.matches)
+
+    def test_shard_count_decoupled_from_workers(self):
+        """Observables depend on the shard count, never on workers."""
+        records = fuzz_records(seed=3)
+        for shards in (1, 5):
+            config = JoinConfig(threshold=0.6, num_workers=shards)
+            serial = run_serial(config, records)
+            assert serial.num_shards <= shards
+            for workers in (1, 4):
+                result = ParallelJoinRunner(
+                    config, workers=workers, executor="inline"
+                ).run(records)
+                assert result.num_shards == serial.num_shards
+                assert_equal_observables(
+                    serial, result, f"shards={shards}/w={workers}"
+                )
+
+
+class TestProcessExecutor:
+    """Real multiprocessing workers (skips on restricted hosts)."""
+
+    @pytest.mark.parametrize("distribution", ["length", "prefix"])
+    def test_process_equals_serial(self, distribution):
+        config = JoinConfig(threshold=0.6, distribution=distribution)
+        records = fuzz_records(seed=42, n=250)
+        serial = run_serial(config, records)
+        runner = ParallelJoinRunner(
+            config, workers=2, executor="process", batch_size=32
+        )
+        result = try_process_run(runner, records)
+        assert_equal_observables(serial, result, f"process/{distribution}")
+        assert result.executor == "process"
+
+    def test_process_eager_window(self):
+        config = JoinConfig(
+            threshold=0.6, expiry="eager", window_seconds=1.5
+        )
+        records = fuzz_records(seed=77, n=250)
+        serial = run_serial(config, records)
+        runner = ParallelJoinRunner(config, workers=3, executor="process")
+        result = try_process_run(runner, records)
+        assert_equal_observables(serial, result, "process/eager")
+
+    def test_worker_stats_cover_all_records(self):
+        config = JoinConfig(threshold=0.6, distribution="broadcast")
+        records = fuzz_records(seed=11, n=150)
+        runner = ParallelJoinRunner(config, workers=2, executor="process")
+        result = try_process_run(runner, records)
+        # Broadcast: every record probes every shard; each of the 8
+        # shards sees all 150 records, split across 2 workers (4 each).
+        assert sum(s["records"] for s in result.worker_stats) == 8 * 150
+        assert all(s["batches"] >= 1 for s in result.worker_stats)
+        assert all(s["busy_s"] > 0 for s in result.worker_stats)

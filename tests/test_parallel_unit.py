@@ -1,0 +1,288 @@
+"""Unit tests for the parallel runtime's pieces: codec, planner,
+merger, the engine batch APIs and the config/CLI validation."""
+
+import math
+
+import pytest
+
+from repro.core.config import MAX_BATCH_SIZE, JoinConfig
+from repro.core.local_join import StreamingSetJoin
+from repro.core.metering import WorkMeter
+from repro.parallel import (
+    BOTH,
+    INDEX,
+    PROBE,
+    ParallelJoinRunner,
+    decode_match_batch,
+    decode_record_batch,
+    encode_match_batch,
+    encode_record_batch,
+    merge_meters,
+    plan_shards,
+    run_serial,
+)
+from repro.parallel.codec import CodecError
+from repro.records import Record
+from repro.similarity.functions import get_similarity
+
+
+def make_records(n=20, sources=False):
+    return [
+        Record(
+            rid=rid,
+            tokens=tuple(range(rid % 5, rid % 5 + 3 + rid % 4)),
+            timestamp=rid * 0.25,
+            source=("L" if rid % 2 else "R") if sources else "",
+        )
+        for rid in range(n)
+    ]
+
+
+class TestRecordCodec:
+    def test_round_trip(self):
+        items = [
+            (op, record)
+            for op, record in zip(
+                [PROBE, INDEX, BOTH] * 7, make_records(20, sources=True)
+            )
+        ]
+        assert decode_record_batch(encode_record_batch(items)) == items
+
+    def test_round_trip_without_sources_or_timestamps(self):
+        items = [
+            (BOTH, Record(rid=i, tokens=(i, i + 1))) for i in range(5)
+        ]
+        blob = encode_record_batch(items)
+        assert decode_record_batch(blob) == items
+        # Both optional sections are elided from the wire format.
+        with_ts = encode_record_batch(
+            [(BOTH, Record(rid=i, tokens=(i, i + 1), timestamp=1.0))
+             for i in range(5)]
+        )
+        assert len(blob) < len(with_ts)
+
+    def test_empty_batch(self):
+        assert decode_record_batch(encode_record_batch([])) == []
+
+    def test_empty_tokens_record(self):
+        items = [(INDEX, Record(rid=1, tokens=()))]
+        assert decode_record_batch(encode_record_batch(items)) == items
+
+    def test_truncated_buffer_raises(self):
+        blob = encode_record_batch([(BOTH, r) for r in make_records(4)])
+        with pytest.raises(CodecError, match="truncated"):
+            decode_record_batch(blob[: len(blob) // 2])
+
+    def test_bad_magic_raises(self):
+        blob = encode_record_batch([(BOTH, r) for r in make_records(2)])
+        with pytest.raises(CodecError, match="magic"):
+            decode_record_batch(b"\x00\x00" + blob[2:])
+
+
+class TestMatchCodec:
+    def test_round_trip(self):
+        rows = [
+            (0.5, 10, 3, 4, 0.8),
+            (0.75, 11, 10, 5, 1.0),
+            (1.25, 12, 1, 2, 0.625),
+        ]
+        assert decode_match_batch(encode_match_batch(rows)) == rows
+
+    def test_empty(self):
+        assert decode_match_batch(encode_match_batch([])) == []
+
+    def test_inconsistent_length_raises(self):
+        blob = encode_match_batch([(0.5, 1, 0, 2, 0.9)])
+        with pytest.raises(CodecError, match="match batch"):
+            decode_match_batch(blob + b"\x00")
+
+
+class TestShardPlanner:
+    def test_default_shard_count_is_config_workers(self):
+        config = JoinConfig(num_workers=4)
+        plan = plan_shards(config, [(1, 2, 3)] * 10)
+        assert plan.num_shards <= 4
+
+    def test_prefix_plan_keeps_requested_shards(self):
+        config = JoinConfig(distribution="prefix", num_workers=6)
+        plan = plan_shards(config, [(1, 2, 3)])
+        assert plan.num_shards == 6
+
+    def test_tasks_combine_probe_and_index(self):
+        config = JoinConfig(distribution="broadcast", num_workers=3)
+        plan = plan_shards(config, [(1, 2)])
+        tasks = dict(plan.tasks(Record(rid=4, tokens=(1, 2, 3))))
+        assert set(tasks) == {0, 1, 2}
+        assert tasks[4 % 3] & INDEX  # home shard indexes
+        assert all(op & PROBE for op in tasks.values())  # all probe
+
+    def test_shards_of_worker_partition_all_shards(self):
+        config = JoinConfig(distribution="prefix", num_workers=7)
+        plan = plan_shards(config, [(1,)])
+        seen = []
+        for worker in range(3):
+            seen.extend(plan.shards_of_worker(worker, 3))
+        assert sorted(seen) == list(range(7))
+
+    def test_bundles_rejected(self):
+        config = JoinConfig(use_bundles=True)
+        with pytest.raises(ValueError, match="bundles"):
+            plan_shards(config, [(1, 2, 3)])
+
+    def test_bad_shard_count_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            plan_shards(JoinConfig(), [(1,)], num_shards=0)
+
+
+class TestBatchEngineAPIs:
+    """insert_batch / probe_batch: one meter flush, identical totals."""
+
+    def records(self):
+        return make_records(30)
+
+    def engines(self):
+        func = get_similarity("jaccard", 0.5)
+        return (
+            StreamingSetJoin(func, meter=WorkMeter()),
+            StreamingSetJoin(func, meter=WorkMeter()),
+        )
+
+    def test_insert_batch_equals_loop(self):
+        batched, looped = self.engines()
+        records = self.records()
+        batched.insert_batch(records)
+        for record in records:
+            looped.insert(record)
+        assert batched.meter.operations == looped.meter.operations
+        assert batched.meter.events == looped.meter.events
+        assert batched.live_postings == looped.live_postings
+
+    def test_probe_batch_equals_loop(self):
+        batched, looped = self.engines()
+        records = self.records()
+        batched.insert_batch(records)
+        looped.insert_batch(records)
+        batch_results = batched.probe_batch(records)
+        loop_results = [looped.probe(record) for record in records]
+        assert batch_results == loop_results
+        assert batched.meter.operations == looped.meter.operations
+        assert batched.meter.events == looped.meter.events
+
+    def test_batched_restores_meter_on_error(self):
+        engine, _ = self.engines()
+        real = engine.meter
+        with pytest.raises(RuntimeError):
+            with engine.batched():
+                engine.insert(Record(rid=0, tokens=(1, 2, 3)))
+                raise RuntimeError("boom")
+        assert engine.meter is real
+        # The partial batch still flushed into the real meter.
+        assert real.operations.get("posting_append", real.operations) is not None
+        assert sum(real.operations.values()) > 0
+
+
+class TestMergeMeters:
+    def test_sums_and_peaks(self):
+        merged_ops, merged_events, merged_signals = merge_meters({
+            0: {"operations": {"posting_scan": 5.0},
+                "events": {"candidates": 2.0},
+                "signals": {"lag": 0.5}},
+            1: {"operations": {"posting_scan": 7.0, "token_compare": 1.0},
+                "events": {"candidates": 0.0},
+                "signals": {"lag": 0.25}},
+        })
+        assert merged_ops == {"posting_scan": 12.0, "token_compare": 1.0}
+        assert merged_events == {"candidates": 2.0}
+        assert merged_signals == {"lag": 0.5}
+
+    def test_zero_counts_preserved(self):
+        ops, events, _ = merge_meters({
+            0: {"operations": {}, "events": {"results": 0.0}, "signals": {}},
+        })
+        assert events == {"results": 0.0}
+        assert ops == {}
+
+
+class TestRunnerValidation:
+    def test_bad_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            ParallelJoinRunner(JoinConfig(), workers=0)
+
+    def test_bad_executor(self):
+        with pytest.raises(ValueError, match="executor"):
+            ParallelJoinRunner(JoinConfig(), executor="threads")
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError, match="batch_size"):
+            ParallelJoinRunner(JoinConfig(), batch_size=0)
+
+    def test_batch_size_defaults_to_config(self):
+        config = JoinConfig(batch_size=64)
+        assert ParallelJoinRunner(config).batch_size == 64
+
+    def test_workers_capped_at_shards(self):
+        config = JoinConfig(distribution="prefix", num_workers=2)
+        result = ParallelJoinRunner(
+            config, workers=16, executor="inline"
+        ).run(make_records(10))
+        assert result.workers == 2
+
+
+class TestConfigBatchSize:
+    def test_default_valid(self):
+        assert JoinConfig().batch_size == 512
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="batch_size must be >= 1"):
+            JoinConfig(batch_size=0)
+        with pytest.raises(ValueError, match="batch_size must be >= 1"):
+            JoinConfig(batch_size=-5)
+
+    def test_rejects_absurd(self):
+        with pytest.raises(ValueError, match="absurd"):
+            JoinConfig(batch_size=MAX_BATCH_SIZE + 1)
+
+    def test_max_is_accepted(self):
+        assert JoinConfig(batch_size=MAX_BATCH_SIZE).batch_size == MAX_BATCH_SIZE
+
+
+class TestObsBridges:
+    def run_result(self):
+        config = JoinConfig(threshold=0.5, distribution="broadcast")
+        return ParallelJoinRunner(
+            config, workers=2, executor="inline"
+        ).run(make_records(40))
+
+    def test_fingerprint_schema(self):
+        fp = self.run_result().fingerprint()
+        assert fp["schema"] == 1
+        assert fp["labels"]["engine"] == "parallel"
+        assert fp["exact"]["run_records"]["total"] == 40.0
+        assert "run_results" in fp["exact"]
+        assert any(name.startswith("op:") for name in fp["exact"])
+        assert fp["banded"] == {}
+
+    def test_timeline_renders(self):
+        recorder = self.run_result().timeline()
+        text = recorder.render(width=20)
+        assert "pworker" in text
+
+    def test_health_flags_broadcast_fanout(self):
+        monitor = self.run_result().health()
+        detectors = {event.detector for event in monitor.events}
+        assert "routing_fanout" in detectors
+
+    def test_serial_result_has_same_bridges(self):
+        config = JoinConfig(threshold=0.5)
+        result = run_serial(config, make_records(25))
+        assert result.fingerprint()["exact"]["run_records"]["total"] == 25.0
+        assert result.timeline().busy_seconds("pworker", 0) > 0
+
+    def test_window_signal_survives_merge(self):
+        config = JoinConfig(threshold=0.5, window_seconds=1.0)
+        records = make_records(60)
+        serial = run_serial(config, records)
+        parallel = ParallelJoinRunner(
+            config, workers=3, executor="inline"
+        ).run(records)
+        assert parallel.signals == serial.signals
