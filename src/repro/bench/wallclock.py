@@ -210,6 +210,14 @@ def parallel_scaling_section(
     gated: ``host_cpus`` is recorded so a single-core runner's flat
     curve reads as what it is, and the 4-worker speedup target is only
     meaningful on hosts with >= 4 cores.
+
+    Runs record wall-clock spans (:mod:`repro.obs.spans`), and each
+    worker-count entry embeds the best run's ``phase_totals`` — where
+    the wall time went (driver setup/feed/drain/merge, per-worker
+    decode/probe/insert) — so phase shares are tracked run-over-run in
+    ``BENCH_wallclock.json``. The span recorder's measured overhead is
+    a few microseconds per batch (reported in the totals' source
+    header), far below run-to-run noise.
     """
     if max_workers < 1:
         raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -234,7 +242,7 @@ def parallel_scaling_section(
     }
     baseline_wall: Optional[float] = None
     for workers in counts:
-        runner = ParallelJoinRunner(config, workers=workers)
+        runner = ParallelJoinRunner(config, workers=workers, spans=True)
         best = None
         for _ in range(repeats):
             result = runner.run(records)
@@ -255,6 +263,7 @@ def parallel_scaling_section(
             "efficiency": round(speedup / workers, 3),
             "busy_s": [round(s["busy_s"], 6) for s in best.worker_stats],
             "correctness": correctness,
+            "phase_totals": best.phase_totals(),
         }
     at4 = section["workers"].get("4")
     section["target"] = PARALLEL_SPEEDUP_TARGET
@@ -464,12 +473,17 @@ def render_wallclock(payload: Dict[str, object]) -> str:
         )
         for workers, entry in scaling["workers"].items():
             ok = all(entry["correctness"].values())
+            totals = entry.get("phase_totals")
+            coverage = (
+                f"  spans cover {totals['driver_coverage']:.0%}"
+                if totals else ""
+            )
             lines.append(
                 f"    workers={workers:>2s}  wall {entry['wall_s']*1e3:8.1f}ms  "
                 f"{entry['throughput_rps']:9.0f} rec/s  "
                 f"speedup x{entry['speedup']:.2f}  "
                 f"eff {entry['efficiency']:.2f}  "
-                f"correctness {'ok' if ok else 'MISMATCH'}"
+                f"correctness {'ok' if ok else 'MISMATCH'}{coverage}"
             )
         if scaling.get("note"):
             lines.append(f"    note: {scaling['note']}")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands cover the workflows a downstream user needs:
+Eight commands cover the workflows a downstream user needs:
 
 ``join``
     Run the distributed streaming join over a token file (one record
@@ -25,6 +25,13 @@ Seven commands cover the workflows a downstream user needs:
     check that the trace, metrics and health dumps are non-empty,
     schema-valid and consistent with the report — CI's observability
     gate.
+``spans``
+    Analyze a wall-clock spans file written by ``join --parallel
+    --spans-out``: per-actor phase breakdown, the critical path
+    through the run's driver windows, and an ASCII stage waterfall.
+    ``--smoke`` gates the file instead (parses, expected phases
+    present, phase totals bounded by wall time) — CI's parallel
+    observability gate.
 ``diff``
     Compare two run artefacts (metrics dumps or stored fingerprints)
     under the regression-gate policy: exact on deterministic counters,
@@ -134,6 +141,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 512)")
     join.add_argument("--fingerprint-out", default=None, metavar="PATH",
                       help="write the run's fingerprint for `repro diff`")
+    join.add_argument("--spans-out", default=None, metavar="PATH",
+                      help="write wall-clock spans (driver + workers) as "
+                           "JSONL; requires --parallel")
+    join.add_argument("--spans-sample", type=int, default=1, metavar="N",
+                      help="record batch-scoped spans for every Nth batch "
+                           "of each shard (deterministic, seeded by batch "
+                           "index; default 1 = every batch)")
     _add_obs_flags(join, default_stride=1)
 
     bench = commands.add_parser("bench", help="compare methods on a synthetic corpus")
@@ -207,6 +221,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--smoke", action="store_true",
                        help="tiny end-to-end run; validate trace+metrics dumps")
     _add_obs_flags(trace, default_stride=1)
+
+    spans = commands.add_parser(
+        "spans", help="analyze a wall-clock spans file (join --parallel --spans-out)"
+    )
+    spans.add_argument("input", help="spans JSONL file")
+    spans.add_argument("--smoke", action="store_true",
+                       help="gate the file instead of analyzing it: parses, "
+                            "expected phases present, phase totals bounded "
+                            "by wall time; exit 1 on failure")
+    spans.add_argument("--json", action="store_true",
+                       help="print the machine-readable phase_totals and "
+                            "critical path only")
+    spans.add_argument("--width", type=int, default=60,
+                       help="waterfall width in time buckets (default 60)")
 
     diff = commands.add_parser(
         "diff", help="regression-gate two run artefacts (dumps or fingerprints)"
@@ -324,6 +352,15 @@ def _cmd_join(args) -> int:
         print(f"join: --shards must be >= 1, got {args.shards}",
               file=sys.stderr)
         return 2
+    if args.spans_sample < 1:
+        print(f"join: --spans-sample must be >= 1, got {args.spans_sample}",
+              file=sys.stderr)
+        return 2
+    if args.spans_out and not args.parallel:
+        print("join: --spans-out requires --parallel (wall-clock spans "
+              "come from the multi-core runtime; the simulated cluster "
+              "has --trace-out)", file=sys.stderr)
+        return 2
     stream, dictionary = load_token_file(
         args.input, rate=args.rate, max_records=args.max_records
     )
@@ -375,7 +412,18 @@ def _cmd_join(args) -> int:
 
 
 def _join_parallel(args, config: JoinConfig, stream) -> int:
-    """``repro join --parallel``: the multi-core runtime."""
+    """``repro join --parallel``: the multi-core runtime.
+
+    The exit-2 rejections here are the flags that *genuinely* conflict
+    with the multi-core driver: ``--bundles`` (the bundle engine needs
+    home-worker probe reuse the sharded driver never sees),
+    ``--dispatchers`` (records are routed by the driver thread) and
+    ``--trace-out`` (per-tuple traces come from simulated topology
+    hops). Everything else composes: ``--metrics-out`` exports the
+    per-worker wall-clock telemetry, ``--spans-out`` the wall-clock
+    span pipeline, and ``--timeline``/``--health-out``/
+    ``--fingerprint-out`` ride on the merged result.
+    """
     if args.bundles:
         print("join: --parallel does not support --bundles (the bundle "
               "engine reuses home-worker probe results the sharded driver "
@@ -385,14 +433,20 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         print("join: --parallel routes records in the driver; "
               "--dispatchers does not apply", file=sys.stderr)
         return 2
-    if args.trace_out or args.metrics_out:
-        print("join: --trace-out/--metrics-out need the simulated cluster; "
-              "--parallel supports --timeline, --health-out and "
-              "--fingerprint-out", file=sys.stderr)
+    if args.trace_out:
+        print("join: --trace-out needs the simulated cluster (per-tuple "
+              "traces come from topology hops); --parallel profiles with "
+              "--spans-out, and supports --metrics-out, --timeline, "
+              "--health-out and --fingerprint-out", file=sys.stderr)
         return 2
     from repro.parallel import ParallelJoinRunner
 
-    runner = ParallelJoinRunner(config, workers=args.workers)
+    runner = ParallelJoinRunner(
+        config,
+        workers=args.workers,
+        spans=args.spans_out is not None,
+        spans_sample=args.spans_sample,
+    )
     result = runner.run(stream)
     print(format_table([{
         "method": config.method_label,
@@ -410,6 +464,14 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
             print(f"{similarity:.4f}\t{earlier}\t{later}")
     if args.timeline:
         print(result.timeline().render())
+    if args.metrics_out:
+        paths = write_metrics(result.metrics_registry(), args.metrics_out)
+        print(f"metrics: -> {', '.join(paths)}")
+    if args.spans_out:
+        lines = result.write_spans(args.spans_out)
+        coverage = result.phase_totals()["driver_coverage"]
+        print(f"spans: {lines} lines -> {args.spans_out} "
+              f"(driver coverage {coverage:.1%})")
     if args.health_out:
         monitor = result.health()
         lines = monitor.write_jsonl(args.health_out)
@@ -679,6 +741,120 @@ def _trace_smoke(args) -> int:
     return 0
 
 
+def _cmd_spans(args) -> int:
+    """``repro spans``: analyze (or smoke-gate) a wall-clock spans file."""
+    from repro.obs.spans import (
+        WORKER_EXEC_PHASES,
+        WORKER_PHASES,
+        critical_path,
+        load_spans_jsonl,
+        phase_totals,
+        smoke_check,
+        split_rows,
+        validate_span_lines,
+        waterfall,
+    )
+
+    if args.width < 10:
+        print(f"spans: --width must be >= 10, got {args.width}",
+              file=sys.stderr)
+        return 2
+    try:
+        rows = load_spans_jsonl(args.input)
+    except (OSError, ValueError) as error:
+        print(f"spans: {error}", file=sys.stderr)
+        return 2
+
+    if args.smoke:
+        failures = smoke_check(rows)
+        if failures:
+            for failure in failures:
+                print(f"spans smoke FAIL: {failure}", file=sys.stderr)
+            return 1
+        header, span_rows = split_rows(rows)
+        totals = phase_totals(rows)
+        print(f"spans smoke ok: {len(span_rows)} spans, "
+              f"executor={header['executor']} workers={header['workers']} "
+              f"wall={header['wall_s']:.4f}s "
+              f"driver coverage {totals['driver_coverage']:.1%}")
+        return 0
+
+    errors = validate_span_lines(rows)
+    if errors:
+        for error in errors:
+            print(f"spans: {args.input}: {error}", file=sys.stderr)
+        return 2
+
+    totals = phase_totals(rows)
+    path = critical_path(rows)
+    if args.json:
+        print(json.dumps(
+            {"phase_totals": totals, "critical_path": path},
+            indent=1, sort_keys=True,
+        ))
+        return 0
+
+    header, span_rows = split_rows(rows)
+    overhead = header.get("overhead", {})
+    driver_overhead = overhead.get("driver", {})
+    worker_overheads = overhead.get("workers", {}).values()
+    overhead_s = driver_overhead.get("estimated_s", 0.0) + sum(
+        entry.get("estimated_s", 0.0) for entry in worker_overheads
+    )
+    print(f"{args.input}: {len(span_rows)} spans, "
+          f"executor={header['executor']} workers={header['workers']} "
+          f"shards={header['shards']} sample={header['sample']} "
+          f"wall={header['wall_s']:.4f}s")
+    print(f"recorder overhead: ~{overhead_s * 1e3:.3f}ms total "
+          f"({overhead_s / header['wall_s']:.2%} of wall)"
+          if header["wall_s"] else "recorder overhead: n/a")
+
+    wall = totals["wall_s"]
+    driver_rows = [
+        {
+            "phase": phase,
+            "seconds": seconds,
+            "share": f"{seconds / wall:.1%}" if wall else "-",
+        }
+        for phase, seconds in totals["driver"].items()
+    ]
+    print(format_table(
+        driver_rows,
+        title=f"\ndriver phases (coverage {totals['driver_coverage']:.1%}"
+              f" of wall; feed excludes nested encode/pipe_write)",
+    ))
+    if totals["workers"]:
+        worker_rows = []
+        for worker, entry in totals["workers"].items():
+            row = {"worker": worker}
+            row.update({phase: entry[phase] for phase in WORKER_PHASES})
+            row["exec_s"] = round(
+                sum(entry[phase] for phase in WORKER_EXEC_PHASES), 6
+            )
+            worker_rows.append(row)
+        print(format_table(
+            worker_rows,
+            title="\nper-worker phases (pipe_read is blocked wait, "
+                  "not work)",
+        ))
+    if path:
+        print(format_table([
+            {
+                "stage": entry["stage"],
+                "start": entry["start"],
+                "seconds": entry["seconds"],
+                "critical": entry["critical"],
+                "busy_s": entry["busy_s"],
+                "util": f"{entry['utilisation']:.0%}",
+            }
+            for entry in path
+        ], title="\ncritical path (driver windows; critical = the actor "
+                 "bounding each window)"))
+    print("\nstage waterfall (wall time; task -1 is the driver)")
+    print(waterfall(rows, width=args.width))
+    return 0
+
+
 def _cmd_diff(args) -> int:
     try:
         baseline = load_fingerprint(args.baseline)
@@ -741,6 +917,7 @@ _COMMANDS = {
     "join": _cmd_join,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "spans": _cmd_spans,
     "diff": _cmd_diff,
     "explain": _cmd_explain,
     "generate": _cmd_generate,

@@ -22,6 +22,10 @@ experiment number is recomputable from its exports:
 * :mod:`repro.obs.attribution` — decomposition of the throughput gap
   between two methods into per-cost-category contributions (the
   ``repro explain`` command);
+* :mod:`repro.obs.spans` — wall-clock span recording for the
+  multiprocessing runtime (``repro.parallel``): a budgeted-overhead
+  recorder, the ``--spans-out`` JSONL artefact, per-phase totals and
+  the critical-path / waterfall analysis behind ``repro spans``;
 * :mod:`repro.obs.observer` — the bundle handed to a cluster run to
   switch any of the above on.
 """
@@ -48,6 +52,18 @@ from repro.obs.health import (
 )
 from repro.obs.observer import RunObserver
 from repro.obs.registry import Counter, Gauge, Histogram, ObsRegistry
+from repro.obs.spans import (
+    PHASES,
+    SPAN_SCHEMA,
+    SpanRecorder,
+    critical_path,
+    load_spans_jsonl,
+    phase_totals,
+    smoke_check,
+    validate_span_lines,
+    waterfall,
+    write_spans_jsonl,
+)
 from repro.obs.timeline import TimelineRecorder
 from repro.obs.tracing import (
     TRACE_SCHEMA,
@@ -65,7 +81,10 @@ __all__ = [
     "HealthThresholds",
     "Histogram",
     "ObsRegistry",
+    "PHASES",
     "RunObserver",
+    "SPAN_SCHEMA",
+    "SpanRecorder",
     "TimelineRecorder",
     "TraceSampler",
     "TupleTracer",
@@ -73,15 +92,22 @@ __all__ = [
     "attribute_gap",
     "busy_decomposition",
     "compare_fingerprints",
+    "critical_path",
     "fingerprint_from_metrics",
     "load_fingerprint",
     "load_health_jsonl",
     "load_metrics_json",
+    "load_spans_jsonl",
     "load_trace_jsonl",
     "metrics_to_json",
     "metrics_to_prometheus",
+    "phase_totals",
+    "smoke_check",
     "validate_health_lines",
     "validate_span",
+    "validate_span_lines",
+    "waterfall",
     "write_fingerprint",
     "write_metrics",
+    "write_spans_jsonl",
 ]

@@ -1,0 +1,500 @@
+"""Wall-clock spans: where the real time of a parallel run goes.
+
+The obs stack so far explains *logical* cost — metered operations over
+the simulated clock. The multiprocessing runtime (``repro.parallel``)
+spends real seconds in places the meters cannot see: encoding batches,
+blocking on pipes, decoding, probing, flushing meters, merging. This
+module is the wall-clock counterpart of :mod:`repro.obs.tracing`: a
+low-overhead span recorder that driver and workers thread through
+their hot paths, a canonical JSONL artefact (``--spans-out``), and the
+analysis behind ``python -m repro spans`` — per-worker phase
+breakdowns, a per-window critical path, and an ASCII waterfall reusing
+:class:`~repro.obs.timeline.TimelineRecorder`.
+
+Design constraints, in order:
+
+* **Overhead must be budgeted, not assumed.** Recording a span is five
+  array-slot stores into preallocated typed arrays — no allocation, no
+  dict, no object per span. The recorder measures its own per-record
+  cost at startup (a short calibration burst) and the file header
+  reports ``count x mean cost``, so a reader can subtract the
+  instrument from the measurement.
+* **Determinism where it can exist.** Durations are wall time and vary
+  run to run, but span *structure* — how many spans of which phase hit
+  which shard — is a pure function of the shard plan and batch size,
+  independent of the worker count (the same argument as the match/meter
+  equality in DESIGN §10.3). ``--spans-sample N`` downsamples by batch
+  *index* (every Nth batch of each shard), never by wall clock, so
+  sampling preserves that determinism.
+* **One clock.** All timestamps are ``time.monotonic()``, which is
+  CLOCK_MONOTONIC system-wide on POSIX and therefore comparable across
+  the driver and forked workers; the artefact rebases everything to the
+  run start so spans read as seconds into the run.
+
+Phases (driver records the first six with ``worker == -1``)::
+
+    setup       plan shards, build engines, spawn workers
+    feed        route records into per-shard batches (exclusive of the
+                two nested phases below in the analyzer's accounting)
+    encode      struct-pack one batch           (nested inside feed)
+    pipe_write  blocking send of one batch      (nested inside feed)
+    drain       EOF broadcast + blocking reads of worker results
+    merge       canonical match sort + meter summation
+    pipe_read   worker blocking on its pipe (blocked-read wait)
+    decode      unpack one batch
+    probe       probe calls of one batch (accumulated, tiled from the
+                batch start — probes and inserts interleave per record,
+                so positions within a batch are approximate while the
+                per-phase *totals* are exact)
+    insert      insert calls of one batch (tiled after probe)
+    meter_flush the one charge_many/event_many flush per batch
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.timeline import TimelineRecorder
+
+SPANS_SCHEMA_VERSION = 1
+
+#: Phase names in wire-id order (the u8 phase column of the span frame
+#: and the ``phase`` field of every JSONL span line).
+PHASES = (
+    "setup",
+    "feed",
+    "encode",
+    "pipe_write",
+    "drain",
+    "merge",
+    "pipe_read",
+    "decode",
+    "probe",
+    "insert",
+    "meter_flush",
+)
+PHASE_ID: Dict[str, int] = {name: i for i, name in enumerate(PHASES)}
+
+DRIVER_PHASES = PHASES[:6]
+WORKER_PHASES = PHASES[6:]
+#: Worker phases that are actual work (as opposed to blocked waiting);
+#: the starvation detector and the critical path treat ``pipe_read``
+#: as waiting, not work.
+WORKER_EXEC_PHASES = ("decode", "probe", "insert", "meter_flush")
+
+#: Worker id of driver-recorded spans.
+DRIVER = -1
+
+#: Required fields of a span line and their types (header line aside).
+SPAN_SCHEMA: Dict[str, type] = {
+    "kind": str,      # "span"
+    "phase": str,     # one of PHASES
+    "worker": int,    # -1 for the driver
+    "shard": int,     # -1 when the span is not shard-attributed
+    "batch": int,     # per-shard batch index (-1 when not batch-scoped)
+    "start": float,   # seconds since run start (monotonic, rebased)
+    "end": float,
+}
+
+#: Calibration burst length for the startup overhead measurement.
+_CALIBRATION_CALLS = 512
+
+
+class SpanRecorder:
+    """Append-only recorder over preallocated typed-array columns.
+
+    ``record`` is five slot stores plus an index bump — O(1), no
+    allocation until the preallocated capacity doubles. ``sample``
+    is the batch-index downsampling stride surfaced as
+    ``--spans-sample``: callers consult :meth:`keep` with a
+    deterministic batch index and skip recording (and, ideally, the
+    timing around it) for the batches sampled out.
+    """
+
+    __slots__ = (
+        "sample",
+        "capacity",
+        "record_cost_s",
+        "_n",
+        "_phases",
+        "_shards",
+        "_batches",
+        "_starts",
+        "_ends",
+    )
+
+    def __init__(self, capacity: int = 1024, sample: int = 1, measure: bool = True):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        self.sample = sample
+        self.capacity = capacity
+        self._n = 0
+        self._phases = array("B", bytes(capacity))
+        self._shards = array("i", bytes(4 * capacity))
+        self._batches = array("i", bytes(4 * capacity))
+        self._starts = array("d", bytes(8 * capacity))
+        self._ends = array("d", bytes(8 * capacity))
+        #: Mean seconds one :meth:`record` call costs on this host,
+        #: measured at startup (0.0 when ``measure=False`` — the
+        #: calibration scratch recorder uses that to avoid recursion).
+        self.record_cost_s = measure_record_cost() if measure else 0.0
+
+    def record(
+        self, phase: int, start: float, end: float, shard: int = -1, batch: int = -1
+    ) -> None:
+        """Append one span (``phase`` is a :data:`PHASE_ID` value)."""
+        n = self._n
+        if n >= self.capacity:
+            self._grow()
+        self._phases[n] = phase
+        self._shards[n] = shard
+        self._batches[n] = batch
+        self._starts[n] = start
+        self._ends[n] = end
+        self._n = n + 1
+
+    def _grow(self) -> None:
+        extra = self.capacity
+        self._phases.extend(bytes(extra))
+        self._shards.extend(array("i", bytes(4 * extra)))
+        self._batches.extend(array("i", bytes(4 * extra)))
+        self._starts.extend(array("d", bytes(8 * extra)))
+        self._ends.extend(array("d", bytes(8 * extra)))
+        self.capacity += extra
+
+    def keep(self, batch_index: int) -> bool:
+        """Deterministic downsampling decision: every Nth batch index."""
+        return batch_index % self.sample == 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def columns(self) -> Tuple[array, array, array, array, array]:
+        """The populated column slices (for the wire frame encoder)."""
+        n = self._n
+        return (
+            self._phases[:n],
+            self._shards[:n],
+            self._batches[:n],
+            self._starts[:n],
+            self._ends[:n],
+        )
+
+    def rows(self, base: float = 0.0, worker: int = DRIVER) -> List[Dict[str, object]]:
+        """Recorded spans as JSONL-shaped dicts, rebased to ``base``."""
+        return spans_to_rows(*self.columns(), base=base, worker=worker)
+
+    def estimated_overhead_s(self) -> float:
+        return self._n * self.record_cost_s
+
+
+def measure_record_cost(calls: int = _CALIBRATION_CALLS) -> float:
+    """Mean seconds per :meth:`SpanRecorder.record` call, measured on a
+    scratch recorder. The burst is short (default 512 calls, well under
+    a millisecond) so paying it once per recorder at startup is
+    negligible next to what it lets the header report."""
+    scratch = SpanRecorder(capacity=calls, sample=1, measure=False)
+    t0 = time.perf_counter()
+    for i in range(calls):
+        scratch.record(0, 0.0, 0.0, i, i)
+    elapsed = time.perf_counter() - t0
+    return elapsed / calls if calls else 0.0
+
+
+def spans_to_rows(
+    phases: Sequence[int],
+    shards: Sequence[int],
+    batches: Sequence[int],
+    starts: Sequence[float],
+    ends: Sequence[float],
+    base: float = 0.0,
+    worker: int = DRIVER,
+) -> List[Dict[str, object]]:
+    """Column arrays (recorder or decoded wire frame) → span dicts."""
+    rows: List[Dict[str, object]] = []
+    for phase, shard, batch, start, end in zip(phases, shards, batches, starts, ends):
+        rows.append(
+            {
+                "kind": "span",
+                "phase": PHASES[phase],
+                "worker": worker,
+                "shard": shard,
+                "batch": batch,
+                "start": round(start - base, 9),
+                "end": round(end - base, 9),
+            }
+        )
+    return rows
+
+
+# -- the JSONL artefact ------------------------------------------------------
+
+def write_spans_jsonl(
+    path: str, header: Dict[str, object], rows: Iterable[Dict[str, object]]
+) -> int:
+    """Header line + one span object per line; returns #lines."""
+    count = 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_spans_jsonl(path: str) -> List[Dict[str, object]]:
+    """All lines of a span dump as dicts (pointed errors on corruption)."""
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: corrupt span line ({error})"
+                ) from error
+            if not isinstance(row, dict):
+                raise ValueError(f"{path}:{number}: span line is not an object")
+            rows.append(row)
+    return rows
+
+
+def validate_span_lines(rows: Iterable[Dict[str, object]]) -> List[str]:
+    """Schema errors of a whole span dump (empty list = valid)."""
+    errors: List[str] = []
+    rows = list(rows)
+    if not rows:
+        return ["empty spans file"]
+    header = rows[0]
+    if header.get("kind") != "header":
+        errors.append("first line is not a header")
+    else:
+        if header.get("schema") != SPANS_SCHEMA_VERSION:
+            errors.append(f"unsupported spans schema {header.get('schema')!r}")
+        for key in ("wall_s", "executor", "workers", "shards", "sample", "overhead"):
+            if key not in header:
+                errors.append(f"header: missing field {key!r}")
+    for index, row in enumerate(rows[1:]):
+        if row.get("kind") != "span":
+            errors.append(f"line {index + 2}: kind is not 'span'")
+            continue
+        for key, expected in SPAN_SCHEMA.items():
+            if key not in row:
+                errors.append(f"span {index}: missing field {key!r}")
+                continue
+            value = row[key]
+            if expected is float:
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"span {index}: field {key!r} not numeric")
+            elif expected is int:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(f"span {index}: field {key!r} not an int")
+            elif not isinstance(value, expected):
+                errors.append(f"span {index}: field {key!r} not {expected.__name__}")
+        phase = row.get("phase")
+        if isinstance(phase, str) and phase not in PHASE_ID:
+            errors.append(f"span {index}: unknown phase {phase!r}")
+        start, end = row.get("start"), row.get("end")
+        if (
+            isinstance(start, (int, float))
+            and isinstance(end, (int, float))
+            and end < start
+        ):
+            errors.append(f"span {index}: ends before it starts ({start} > {end})")
+    return errors
+
+
+def split_rows(
+    rows: Sequence[Dict[str, object]],
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """(header, span rows) of a loaded dump; raises on a missing header."""
+    if not rows or rows[0].get("kind") != "header":
+        raise ValueError("spans dump has no header line")
+    return rows[0], [row for row in rows[1:] if row.get("kind") == "span"]
+
+
+# -- analysis ---------------------------------------------------------------
+
+def _sum_phase(spans, phase: str, worker: Optional[int] = None) -> float:
+    total = 0.0
+    for row in spans:
+        if row["phase"] != phase:
+            continue
+        if worker is not None and row["worker"] != worker:
+            continue
+        total += row["end"] - row["start"]
+    return total
+
+
+def phase_totals(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Per-actor seconds by phase, plus the driver's wall coverage.
+
+    The driver's four top-level windows (``setup``/``feed``/``drain``/
+    ``merge``) tile the run, so their inclusive sum over the wall time
+    — ``driver_coverage`` — measures how much of the run the span
+    pipeline accounts for (the bench gate wants it within 5% of 1).
+    The reported ``feed`` is *exclusive* of its nested ``encode`` and
+    ``pipe_write`` spans, so the driver dict reads as a partition of
+    driver time; worker phase totals are reported as recorded (with
+    ``sample > 1`` they undercount by design — the header says so).
+    """
+    header, spans = split_rows(rows)
+    wall = float(header.get("wall_s", 0.0)) or 0.0
+
+    driver: Dict[str, float] = {phase: 0.0 for phase in DRIVER_PHASES}
+    for phase in DRIVER_PHASES:
+        driver[phase] = _sum_phase(spans, phase, DRIVER)
+    covered = driver["setup"] + driver["feed"] + driver["drain"] + driver["merge"]
+    driver["feed"] = max(0.0, driver["feed"] - driver["encode"] - driver["pipe_write"])
+
+    workers: Dict[str, Dict[str, float]] = {}
+    for row in spans:
+        worker = row["worker"]
+        if worker == DRIVER:
+            continue
+        entry = workers.setdefault(
+            str(worker), {phase: 0.0 for phase in WORKER_PHASES}
+        )
+        entry[row["phase"]] += row["end"] - row["start"]
+
+    return {
+        "wall_s": wall,
+        "driver": {phase: round(driver[phase], 6) for phase in DRIVER_PHASES},
+        "driver_covered_s": round(covered, 6),
+        "driver_coverage": round(covered / wall, 4) if wall > 0 else 0.0,
+        "workers": {
+            worker: {phase: round(value, 6) for phase, value in entry.items()}
+            for worker, entry in sorted(workers.items(), key=lambda kv: int(kv[0]))
+        },
+    }
+
+
+def _clip(spans, phases, worker, lo: float, hi: float) -> float:
+    """Summed overlap of a worker's spans (of ``phases``) with [lo, hi]."""
+    total = 0.0
+    for row in spans:
+        if row["worker"] != worker or row["phase"] not in phases:
+            continue
+        overlap = min(row["end"], hi) - max(row["start"], lo)
+        if overlap > 0:
+            total += overlap
+    return total
+
+
+def critical_path(rows: Sequence[Dict[str, object]]) -> List[Dict[str, object]]:
+    """The run as a chain of driver windows, each attributed to the
+    actor that bounds it.
+
+    Algorithm: the driver's ``setup → feed → drain → merge`` spans
+    partition the run into serial windows (they cannot overlap — the
+    driver is one thread). For each window, every worker's *executing*
+    time (:data:`WORKER_EXEC_PHASES`, i.e. not pipe waits) is clipped
+    to the window; the window's critical actor is the driver during
+    ``setup``/``merge`` (no concurrent work exists), otherwise whoever
+    is busiest — during ``drain`` that is the straggler worker the
+    driver is blocked on, during ``feed`` it is the driver itself
+    unless some worker computes for more of the window than the driver
+    spends feeding it. Summing the window durations reproduces the
+    covered wall time, so the chain *is* a critical path: shortening a
+    window's critical actor shortens the run.
+    """
+    header, spans = split_rows(rows)
+    workers = sorted(
+        {row["worker"] for row in spans if row["worker"] != DRIVER}
+    )
+    out: List[Dict[str, object]] = []
+    for stage in ("setup", "feed", "drain", "merge"):
+        stage_spans = [
+            row for row in spans if row["worker"] == DRIVER and row["phase"] == stage
+        ]
+        if not stage_spans:
+            continue
+        lo = min(row["start"] for row in stage_spans)
+        hi = max(row["end"] for row in stage_spans)
+        duration = sum(row["end"] - row["start"] for row in stage_spans)
+        critical, busy = "driver", duration
+        if stage in ("feed", "drain") and workers:
+            clipped = {
+                worker: _clip(spans, WORKER_EXEC_PHASES, worker, lo, hi)
+                for worker in workers
+            }
+            straggler = max(clipped, key=lambda w: (clipped[w], -w))
+            if stage == "drain" or clipped[straggler] > duration:
+                critical, busy = f"worker {straggler}", clipped[straggler]
+        out.append(
+            {
+                "stage": stage,
+                "start": round(lo, 6),
+                "seconds": round(duration, 6),
+                "critical": critical,
+                "busy_s": round(busy, 6),
+                "utilisation": round(busy / duration, 4) if duration > 0 else 0.0,
+            }
+        )
+    return out
+
+
+def waterfall(rows: Sequence[Dict[str, object]], width: int = 60) -> str:
+    """ASCII stage waterfall: one timeline row per (phase, actor).
+
+    Reuses :class:`~repro.obs.timeline.TimelineRecorder` — component is
+    the phase name, task the worker id (-1 = driver), the time axis is
+    wall seconds since run start."""
+    header, spans = split_rows(rows)
+    recorder = TimelineRecorder()
+    for row in sorted(spans, key=lambda r: (r["phase"], r["worker"], r["start"])):
+        start, end = row["start"], row["end"]
+        if end < start:
+            continue
+        recorder.record(row["phase"], row["worker"], start, end)
+    wall = float(header.get("wall_s", 0.0)) or 0.0
+    if wall > recorder.horizon:
+        recorder.horizon = wall
+    return recorder.render(width=width, axis="wall")
+
+
+def smoke_check(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """The ``repro spans --smoke`` gate: schema-valid, every expected
+    phase present for the run's executor, and no actor's phase totals
+    exceed the wall time. Returns failure strings (empty = pass)."""
+    failures = validate_span_lines(rows)
+    if failures:
+        return failures
+    header, spans = split_rows(rows)
+    wall = float(header.get("wall_s", 0.0))
+    if wall <= 0:
+        failures.append(f"header wall_s is not positive: {wall}")
+        return failures
+    present = {row["phase"] for row in spans}
+    expected = {"setup", "feed", "merge"}
+    if int(header.get("batches", 1)):
+        expected |= {"encode", "decode", "probe", "insert", "meter_flush"}
+        if header.get("executor") == "process":
+            expected |= {"pipe_write", "pipe_read", "drain"}
+    for phase in sorted(expected):
+        if phase not in present:
+            failures.append(f"no span covers phase {phase!r}")
+
+    budget = wall * 1.02 + 1e-6
+    totals = phase_totals(rows)
+    covered = totals["driver_covered_s"]
+    if covered > budget:
+        failures.append(
+            f"driver phase totals ({covered:.6f}s) exceed wall time ({wall:.6f}s)"
+        )
+    for worker, entry in totals["workers"].items():
+        exec_total = sum(entry[phase] for phase in WORKER_EXEC_PHASES)
+        if exec_total > budget:
+            failures.append(
+                f"worker {worker} phase totals ({exec_total:.6f}s) exceed "
+                f"wall time ({wall:.6f}s)"
+            )
+    return failures

@@ -110,6 +110,7 @@ class TimelineRecorder:
         width: int = 60,
         horizon: Optional[float] = None,
         normalise: bool = True,
+        axis: str = "simulated",
     ) -> str:
         """ASCII utilisation chart, one row per task.
 
@@ -118,6 +119,9 @@ class TimelineRecorder:
         relative to the chart's peak cell, so imbalance stays visible
         even when the offered rate is far below saturation and every
         absolute utilisation is tiny; the legend states the peak.
+        ``axis`` names the time axis in the chart header and legend —
+        the default is the simulator's clock; wall-clock recorders
+        (parallel workers, span waterfalls) pass ``"wall"``.
         """
         keys = [
             key
@@ -134,7 +138,7 @@ class TimelineRecorder:
         scale = peak if (normalise and peak > 0) else 1.0
         label_width = max(len(f"{c}[{t}]") for c, t in keys)
         lines = [
-            f"{'task'.ljust(label_width)}  |{'simulated time'.center(width)}| busy"
+            f"{'task'.ljust(label_width)}  |{f'{axis} time'.center(width)}| busy"
         ]
         for comp, task in keys:
             bar = "".join(
@@ -144,7 +148,7 @@ class TimelineRecorder:
             busy = self.busy_seconds(comp, task)
             label = f"{comp}[{task}]".ljust(label_width)
             lines.append(f"{label}  |{bar}| {busy:.4f}s")
-        legend = f"0 .. {horizon:.4f}s simulated"
+        legend = f"0 .. {horizon:.4f}s {axis}"
         if normalise and peak > 0:
             legend += f", full shade = {peak:.1%} busy"
         lines.append(f"{'horizon'.ljust(label_width)}  {legend}")

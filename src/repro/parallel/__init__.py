@@ -18,14 +18,17 @@ from repro.parallel.codec import (
     MatchRow,
     decode_match_batch,
     decode_record_batch,
+    decode_span_frame,
     encode_match_batch,
     encode_record_batch,
+    encode_span_frame,
 )
 from repro.parallel.merge import (
     merge_matches,
     merge_meters,
     parallel_fingerprint,
     worker_health,
+    worker_metrics,
     worker_timeline,
 )
 from repro.parallel.planner import ShardPlan, plan_shards
@@ -50,8 +53,10 @@ __all__ = [
     "build_shard_engine",
     "decode_match_batch",
     "decode_record_batch",
+    "decode_span_frame",
     "encode_match_batch",
     "encode_record_batch",
+    "encode_span_frame",
     "merge_matches",
     "merge_meters",
     "parallel_fingerprint",
@@ -59,5 +64,6 @@ __all__ = [
     "run_serial",
     "worker_health",
     "worker_main",
+    "worker_metrics",
     "worker_timeline",
 ]

@@ -28,6 +28,14 @@ Byte order is native: driver and workers are processes on one host.
 Match batches travel the other way with the same idea: five parallel
 columns ``(timestamps, rid_a, rid_b, overlap, similarity)``, one row
 per reported pair, already in the runtime's canonical result order.
+
+Span frames (``TAG_SPANS``) ship a worker's wall-clock span buffer
+back after EOF with the identical columnar trick: a ``<HBBI`` header
+(magic ``0x5350`` "SP", version, flags, n_spans) followed by five flat
+columns — phase ``u8``, shard ``i32``, batch ``i32``, start ``f64``,
+end ``f64`` — exactly the :class:`~repro.obs.spans.SpanRecorder`
+storage layout, so encoding is five ``tobytes()`` calls on the live
+recorder arrays and decoding never materialises per-span objects.
 """
 
 from __future__ import annotations
@@ -238,3 +246,64 @@ def decode_match_batch(data: bytes) -> List[MatchRow]:
     overlap = column("q")
     similarity = column("d")
     return list(zip(stamps, rid_a, rid_b, overlap, similarity))
+
+
+SPAN_MAGIC = 0x5350  # "SP"
+SPAN_VERSION = 1
+
+_SPAN_HEADER = struct.Struct("<HBBI")
+
+#: Bytes per span row across the five columns (u8 + i32 + i32 + f64 + f64).
+_SPAN_ROW_BYTES = 1 + 4 + 4 + 8 + 8
+
+SpanColumns = Tuple[array, array, array, array, array]
+
+
+def encode_span_frame(
+    phases: array, shards: array, batches: array, starts: array, ends: array
+) -> bytes:
+    """Pack span recorder columns (``SpanRecorder.columns()``) into one
+    contiguous buffer."""
+    return b"".join(
+        (
+            _SPAN_HEADER.pack(SPAN_MAGIC, SPAN_VERSION, 0, len(phases)),
+            phases.tobytes(),
+            shards.tobytes(),
+            batches.tobytes(),
+            starts.tobytes(),
+            ends.tobytes(),
+        )
+    )
+
+
+def decode_span_frame(data: bytes) -> SpanColumns:
+    """Inverse of :func:`encode_span_frame` (pointed errors)."""
+    if len(data) < _SPAN_HEADER.size:
+        raise CodecError(f"span frame truncated: {len(data)} bytes")
+    magic, version, _flags, n = _SPAN_HEADER.unpack_from(data)
+    if magic != SPAN_MAGIC:
+        raise CodecError(f"bad span-frame magic 0x{magic:04x}")
+    if version != SPAN_VERSION:
+        raise CodecError(f"unsupported span-frame version {version}")
+    expected = _SPAN_HEADER.size + n * _SPAN_ROW_BYTES
+    if len(data) != expected:
+        raise CodecError(
+            f"span frame inconsistent: {n} spans need {expected} bytes, "
+            f"have {len(data)}"
+        )
+    offset = _SPAN_HEADER.size
+
+    def column(typecode: str, itemsize: int) -> array:
+        nonlocal offset
+        col = array(typecode)
+        col.frombytes(data[offset : offset + itemsize * n])
+        offset += itemsize * n
+        return col
+
+    return (
+        column("B", 1),
+        column("i", 4),
+        column("i", 4),
+        column("d", 8),
+        column("d", 8),
+    )

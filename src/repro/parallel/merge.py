@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.health import HealthMonitor, HealthThresholds
 from repro.obs.registry import ObsRegistry
+from repro.obs.spans import DRIVER
 from repro.obs.timeline import TimelineRecorder
 from repro.parallel.codec import MatchRow
 
@@ -121,6 +122,64 @@ def worker_timeline(result) -> TimelineRecorder:
     return recorder
 
 
+def worker_metrics(result, registry: Optional[ObsRegistry] = None) -> ObsRegistry:
+    """Per-worker wall-clock telemetry as standard obs gauges.
+
+    One gauge family per quantity, labelled ``component="pworker",
+    task="<worker>"`` like every other per-task series, plus run-level
+    shape gauges — ready for :func:`repro.obs.exporters.write_metrics`
+    (JSON + Prometheus), so a parallel run exports the same way a
+    simulated one does.
+    """
+    if registry is None:
+        registry = ObsRegistry(
+            engine="parallel",
+            executor=result.executor,
+            method=result.config.method_label,
+        )
+    registry.gauge("run_wall_seconds", help="wall-clock run time").set(
+        result.wall_s
+    )
+    registry.gauge("run_workers", help="physical worker processes").set(
+        result.workers
+    )
+    registry.gauge("run_shards", help="logical shards").set(result.num_shards)
+    registry.gauge("run_records", help="records routed").set(result.records)
+    registry.gauge("run_results", help="match pairs reported").set(
+        len(result.matches)
+    )
+    gauges = (
+        ("worker_busy_seconds", "seconds spent processing batches", "busy_s"),
+        (
+            "worker_blocked_seconds",
+            "seconds blocked reading the input pipe",
+            "blocked_s",
+        ),
+        ("worker_batches", "batches processed", "batches"),
+        ("worker_records", "records processed", "records"),
+        ("worker_bytes_in", "frame bytes received", "bytes_in"),
+        ("worker_bytes_out", "match/span frame bytes sent", "bytes_out"),
+        ("worker_lifetime_seconds", "seconds from fork to EOF", "lifetime_s"),
+        ("worker_peak_rss_kb", "peak resident set size (KiB)", "peak_rss_kb"),
+    )
+    for stats in result.worker_stats:
+        labels = {"component": WORKER_COMPONENT, "task": stats["worker"]}
+        for name, help_text, key in gauges:
+            registry.gauge(name, help=help_text, **labels).set(
+                stats.get(key, 0) or 0
+            )
+        lifetime = stats.get("lifetime_s", 0.0) or 0.0
+        idle = max(
+            0.0, lifetime - stats["busy_s"] - (stats.get("blocked_s", 0.0) or 0.0)
+        )
+        registry.gauge(
+            "worker_idle_seconds",
+            help="lifetime not spent busy or blocked",
+            **labels,
+        ).set(idle)
+    return registry
+
+
 class _WorkerBusyRegistry:
     """Duck-typed stand-in for ``MetricsRegistry`` in
     :meth:`HealthMonitor.finalize`: per-worker busy seconds plus an
@@ -145,8 +204,36 @@ def worker_health(
     critical alert) and true average (the run-end warning), and engine
     health signals (e.g. expiration lag) replay their peaks — the
     peak is exactly what those one-shot detectors key on.
+
+    Two wall-clock detectors join in for process runs: pipe
+    backpressure (the fraction of the driver's feed phase spent in
+    blocked ``pipe_write`` spans — needs spans enabled) and worker
+    starvation (each worker's blocked-read seconds over its lifetime —
+    the ``pipe_read`` aggregate, carried in the summary telemetry, so
+    it fires even without spans).
     """
     monitor = HealthMonitor(thresholds)
+    if result.span_rows:
+        write_s = feed_s = 0.0
+        for row in result.span_rows:
+            if row["worker"] != DRIVER:
+                continue
+            if row["phase"] == "pipe_write":
+                write_s += row["end"] - row["start"]
+            elif row["phase"] == "feed":
+                feed_s += row["end"] - row["start"]
+        if feed_s > 0:
+            monitor.on_signal(
+                "driver", 0, result.wall_s,
+                "pipe_blocked_write_fraction", write_s / feed_s,
+            )
+    for stats in result.worker_stats:
+        lifetime = stats.get("lifetime_s", 0.0)
+        if lifetime > 0 and stats.get("blocked_s", 0.0) > 0:
+            monitor.on_signal(
+                WORKER_COMPONENT, stats["worker"], result.wall_s,
+                "worker_starved_fraction", stats["blocked_s"] / lifetime,
+            )
     for name, value in sorted(result.signals.items()):
         if name == "routing_fanout_fraction":
             continue  # replayed below with exact average semantics

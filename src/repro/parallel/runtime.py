@@ -41,19 +41,30 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import JoinConfig
 from repro.core.metering import WorkMeter
+from repro.obs.spans import (
+    DRIVER,
+    PHASE_ID,
+    SPANS_SCHEMA_VERSION,
+    SpanRecorder,
+    spans_to_rows,
+    write_spans_jsonl,
+)
 from repro.parallel.codec import (
     INDEX,
     PROBE,
     MatchRow,
     decode_match_batch,
     decode_record_batch,
+    decode_span_frame,
     encode_record_batch,
+    encode_span_frame,
 )
 from repro.parallel.merge import (
     merge_matches,
     merge_meters,
     parallel_fingerprint,
     worker_health,
+    worker_metrics,
     worker_timeline,
 )
 from repro.parallel.planner import ShardPlan, plan_shards
@@ -63,13 +74,23 @@ from repro.parallel.worker import (
     TAG_EOF,
     TAG_ERROR,
     TAG_MATCHES,
+    TAG_SPANS,
     ShardWorker,
     build_shard_engine,
+    peak_rss_kb,
     worker_main,
 )
 from repro.records import Record
 
 _U32 = struct.Struct("<I")
+
+_SETUP = PHASE_ID["setup"]
+_FEED = PHASE_ID["feed"]
+_ENCODE = PHASE_ID["encode"]
+_PIPE_WRITE = PHASE_ID["pipe_write"]
+_DRAIN = PHASE_ID["drain"]
+_MERGE = PHASE_ID["merge"]
+_DECODE = PHASE_ID["decode"]
 
 EXECUTORS = ("process", "inline")
 
@@ -106,6 +127,13 @@ class ParallelJoinResult:
     #: Monotonic clock value at run start (base for worker intervals).
     started: float = 0.0
     wall_s: float = 0.0
+    #: Spans artefact header (``None`` unless the run recorded spans):
+    #: schema, wall time, executor/worker/shard shape, sampling stride
+    #: and the recorder's own overhead budget per actor.
+    span_header: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: Merged driver + worker span dicts, rebased so 0 = run start and
+    #: sorted by start time (``None`` unless the run recorded spans).
+    span_rows: Optional[List[Dict[str, object]]] = field(default=None, repr=False)
 
     @property
     def results(self) -> int:
@@ -132,8 +160,37 @@ class ParallelJoinResult:
 
     def health(self, thresholds=None):
         """Finalized :class:`HealthMonitor` (load skew across workers,
-        routing fanout, engine signals)."""
+        routing fanout, pipe backpressure / worker starvation, engine
+        signals)."""
         return worker_health(self, thresholds)
+
+    def metrics_registry(self):
+        """Per-worker wall-clock telemetry as an :class:`ObsRegistry`
+        ready for the JSON/Prometheus exporters."""
+        return worker_metrics(self)
+
+    # -- spans ----------------------------------------------------------------
+    def spans_document(self) -> List[Dict[str, object]]:
+        """The full spans artefact (header line first), as the JSONL
+        loader would return it. Raises unless the run was started with
+        ``spans=True``."""
+        if self.span_header is None or self.span_rows is None:
+            raise ValueError(
+                "this run recorded no spans "
+                "(construct ParallelJoinRunner with spans=True)"
+            )
+        return [self.span_header] + list(self.span_rows)
+
+    def write_spans(self, path: str) -> int:
+        """Dump the spans artefact to ``path``; returns #lines."""
+        document = self.spans_document()
+        return write_spans_jsonl(path, document[0], document[1:])
+
+    def phase_totals(self) -> Dict[str, object]:
+        """Per-actor seconds by phase (see :func:`repro.obs.spans.phase_totals`)."""
+        from repro.obs.spans import phase_totals
+
+        return phase_totals(self.spans_document())
 
 
 def _corpus_of(stream, records: Sequence[Record]) -> Sequence[Tuple[int, ...]]:
@@ -150,7 +207,11 @@ class ParallelJoinRunner:
     count — an extra process would host zero shards); ``num_shards``
     defaults to ``config.num_workers`` so parallel runs shard the
     stream exactly like the simulated cluster; ``batch_size`` defaults
-    to ``config.batch_size``.
+    to ``config.batch_size``. ``spans=True`` switches on wall-clock
+    span recording in the driver and every worker (see
+    :mod:`repro.obs.spans`); ``spans_sample`` is the deterministic
+    batch-index downsampling stride for the high-rate batch-scoped
+    phases (1 = record every batch).
     """
 
     def __init__(
@@ -161,6 +222,8 @@ class ParallelJoinRunner:
         batch_size: Optional[int] = None,
         executor: str = "process",
         start_method: Optional[str] = None,
+        spans: bool = False,
+        spans_sample: int = 1,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -172,18 +235,28 @@ class ParallelJoinRunner:
             batch_size = config.batch_size
         elif batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if spans_sample < 1:
+            raise ValueError(f"spans_sample must be >= 1, got {spans_sample}")
         self.config = config
         self.workers = workers
         self.num_shards = num_shards
         self.batch_size = batch_size
         self.executor = executor
         self.start_method = start_method
+        self.spans = bool(spans)
+        self.spans_sample = spans_sample
 
     # -- execution -----------------------------------------------------------
     def run(self, stream) -> ParallelJoinResult:
         """Route ``stream`` (a RecordStream or record iterable) through
         the workers; block until merged."""
         started = time.monotonic()
+        self._run_started = started
+        self._driver_spans = (
+            SpanRecorder(sample=self.spans_sample) if self.spans else None
+        )
+        #: worker id → decoded span columns, filled while draining.
+        self._worker_span_cols: Dict[int, tuple] = {}
         records = list(stream)
         plan = plan_shards(
             self.config, _corpus_of(stream, records), self.num_shards
@@ -234,6 +307,9 @@ class ParallelJoinRunner:
     def _run_process(self, plan, records, workers, assignment):
         import multiprocessing as mp
 
+        spans = self._driver_spans
+        spans_sample = self.spans_sample if spans is not None else 0
+        monotonic = time.monotonic
         ctx = mp.get_context(self.start_method)
         conns = []
         procs = []
@@ -242,22 +318,53 @@ class ParallelJoinRunner:
                 parent, child = ctx.Pipe(duplex=True)
                 proc = ctx.Process(
                     target=worker_main,
-                    args=(child, w, self.config, assignment[w], plan.num_shards),
+                    args=(
+                        child, w, self.config, assignment[w],
+                        plan.num_shards, spans_sample,
+                    ),
                     daemon=True,
                 )
                 proc.start()
                 child.close()
                 conns.append(parent)
                 procs.append(proc)
+            if spans is not None:
+                spans.record(_SETUP, self._run_started, monotonic())
+
+            #: Per-shard batch sequence (the deterministic sampling key
+            #: for the driver's encode/pipe_write spans — it mirrors
+            #: the worker-side counter by construction: both sides see
+            #: each shard's batches in the same order).
+            batch_seq: Dict[int, int] = {}
 
             def send(shard: int, items) -> None:
+                if spans is not None:
+                    seq = batch_seq.get(shard, 0)
+                    batch_seq[shard] = seq + 1
+                    if spans.keep(seq):
+                        t0 = monotonic()
+                        payload = encode_record_batch(items)
+                        t1 = monotonic()
+                        spans.record(_ENCODE, t0, t1, shard, seq)
+                        frame = (
+                            bytes([TAG_BATCH]) + _U32.pack(shard) + payload
+                        )
+                        t2 = monotonic()
+                        conns[shard % workers].send_bytes(frame)
+                        spans.record(_PIPE_WRITE, t2, monotonic(), shard, seq)
+                        return
                 conns[shard % workers].send_bytes(
                     bytes([TAG_BATCH])
                     + _U32.pack(shard)
                     + encode_record_batch(items)
                 )
 
+            t_feed = monotonic()
             self._fanout = self._feed(plan, records, send)
+            if spans is not None:
+                spans.record(_FEED, t_feed, monotonic())
+
+            t_drain = monotonic()
             for conn in conns:
                 conn.send_bytes(bytes([TAG_EOF]))
 
@@ -276,6 +383,8 @@ class ParallelJoinRunner:
                     tag = msg[0]
                     if tag == TAG_MATCHES:
                         rows.extend(decode_match_batch(msg[1:]))
+                    elif tag == TAG_SPANS:
+                        self._worker_span_cols[w] = decode_span_frame(msg[1:])
                     elif tag == TAG_DONE:
                         summaries.append(pickle.loads(msg[1:]))
                         break
@@ -288,6 +397,8 @@ class ParallelJoinRunner:
                 chunks.append(rows)
             for proc in procs:
                 proc.join()
+            if spans is not None:
+                spans.record(_DRAIN, t_drain, monotonic())
             return chunks, summaries
         finally:
             for conn in conns:
@@ -298,26 +409,69 @@ class ParallelJoinRunner:
                     proc.join()
 
     def _run_inline(self, plan, records, workers, assignment):
+        spans = self._driver_spans
+        spans_sample = self.spans_sample if spans is not None else 0
+        monotonic = time.monotonic
+        born = monotonic()
         pool = [
-            ShardWorker(self.config, assignment[w], plan.num_shards)
+            ShardWorker(
+                self.config, assignment[w], plan.num_shards,
+                spans_sample=spans_sample, worker=w,
+            )
             for w in range(workers)
         ]
+        if spans is not None:
+            spans.record(_SETUP, self._run_started, monotonic())
+
+        batch_seq: Dict[int, int] = {}
 
         def send(shard: int, items) -> None:
             # Round-trip through the codec so inline runs exercise the
             # exact wire path (and records arrive re-materialized, as
             # they would from a pipe).
-            pool[shard % workers].process_batch(
-                shard, decode_record_batch(encode_record_batch(items))
-            )
+            worker = pool[shard % workers]
+            if spans is not None:
+                seq = batch_seq.get(shard, 0)
+                batch_seq[shard] = seq + 1
+                if spans.keep(seq):
+                    t0 = monotonic()
+                    payload = encode_record_batch(items)
+                    spans.record(_ENCODE, t0, monotonic(), shard, seq)
+                else:
+                    payload = encode_record_batch(items)
+            else:
+                payload = encode_record_batch(items)
+            worker.bytes_in += len(payload)
+            if worker.will_sample(shard):
+                wseq = worker._batch_seq.get(shard, 0)
+                t0 = monotonic()
+                decoded = decode_record_batch(payload)
+                worker.spans.record(_DECODE, t0, monotonic(), shard, wseq)
+            else:
+                decoded = decode_record_batch(payload)
+            worker.process_batch(shard, decoded)
 
+        t_feed = monotonic()
         self._fanout = self._feed(plan, records, send)
+        if spans is not None:
+            spans.record(_FEED, t_feed, monotonic())
+        for worker in pool:
+            worker.lifetime_s = monotonic() - born
         summaries = [worker.finish() for worker in pool]
+        if spans is not None:
+            # Round-trip worker spans through the wire frame too, for
+            # the same inline-covers-the-codec reason as above.
+            for w, worker in enumerate(pool):
+                self._worker_span_cols[w] = decode_span_frame(
+                    encode_span_frame(*worker.spans.columns())
+                )
         return [worker.matches for worker in pool], summaries
 
     def _merge(
         self, plan, records, workers, chunks, summaries, started
     ) -> ParallelJoinResult:
+        spans = getattr(self, "_driver_spans", None)
+        t_merge = time.monotonic()
         shard_meters: Dict[int, dict] = {}
         worker_stats = []
         for w, summary in enumerate(summaries):
@@ -330,9 +484,16 @@ class ParallelJoinRunner:
                     "batches": summary["batches"],
                     "busy_s": summary["busy_s"],
                     "intervals": summary["intervals"],
+                    "blocked_s": summary.get("blocked_s", 0.0),
+                    "bytes_in": summary.get("bytes_in", 0),
+                    "bytes_out": summary.get("bytes_out", 0),
+                    "lifetime_s": summary.get("lifetime_s", 0.0),
+                    "peak_rss_kb": summary.get("peak_rss_kb", 0),
+                    "span_count": summary.get("span_count", 0),
                 }
             )
         operations, events, signals = merge_meters(shard_meters)
+        matches = merge_matches(chunks)
         fanout = getattr(self, "_fanout", {"total": 0.0, "count": 0, "peak": 0.0})
         if fanout["count"]:
             peak = fanout["peak"]
@@ -341,6 +502,45 @@ class ParallelJoinRunner:
                 or peak > signals["routing_fanout_fraction"]
             ):
                 signals["routing_fanout_fraction"] = peak
+        if spans is not None:
+            spans.record(_MERGE, t_merge, time.monotonic())
+        wall_s = time.monotonic() - started
+
+        span_header = span_rows = None
+        if spans is not None:
+            span_rows = spans.rows(base=started, worker=DRIVER)
+            overhead_workers: Dict[str, dict] = {}
+            for w, summary in enumerate(summaries):
+                cols = self._worker_span_cols.get(w)
+                if cols is not None:
+                    span_rows.extend(spans_to_rows(*cols, base=started, worker=w))
+                count = summary.get("span_count", 0)
+                cost = summary.get("span_record_cost_s", 0.0)
+                overhead_workers[str(w)] = {
+                    "count": count,
+                    "record_cost_s": round(cost, 12),
+                    "estimated_s": round(count * cost, 9),
+                }
+            span_rows.sort(key=lambda r: (r["start"], r["end"], r["worker"]))
+            span_header = {
+                "kind": "header",
+                "schema": SPANS_SCHEMA_VERSION,
+                "wall_s": round(wall_s, 9),
+                "executor": self.executor,
+                "workers": workers,
+                "shards": plan.num_shards,
+                "batch_size": self.batch_size,
+                "batches": sum(s["batches"] for s in summaries),
+                "sample": self.spans_sample,
+                "overhead": {
+                    "driver": {
+                        "count": len(spans),
+                        "record_cost_s": round(spans.record_cost_s, 12),
+                        "estimated_s": round(spans.estimated_overhead_s(), 9),
+                    },
+                    "workers": overhead_workers,
+                },
+            }
         return ParallelJoinResult(
             config=self.config,
             num_shards=plan.num_shards,
@@ -348,7 +548,7 @@ class ParallelJoinRunner:
             batch_size=self.batch_size,
             executor=self.executor,
             records=len(records),
-            matches=merge_matches(chunks),
+            matches=matches,
             operations=operations,
             events=events,
             signals=signals,
@@ -356,7 +556,9 @@ class ParallelJoinRunner:
             worker_stats=worker_stats,
             routing_fanout=fanout,
             started=started,
-            wall_s=time.monotonic() - started,
+            wall_s=wall_s,
+            span_header=span_header,
+            span_rows=span_rows,
         )
 
 
@@ -439,6 +641,12 @@ def run_serial(
                 "batches": 0,
                 "busy_s": wall_s,
                 "intervals": [(started, started + wall_s)],
+                "blocked_s": 0.0,
+                "bytes_in": 0,
+                "bytes_out": 0,
+                "lifetime_s": wall_s,
+                "peak_rss_kb": peak_rss_kb(),
+                "span_count": 0,
             }
         ],
         routing_fanout=fanout,

@@ -14,35 +14,50 @@ one ``send_bytes`` frame, first byte = tag):
     driver → worker   TAG_BATCH  u32 shard + record batch (codec)
                       TAG_EOF    (empty)
     worker → driver   TAG_MATCHES  match batch (codec), repeated
+                      TAG_SPANS    span frame (codec), iff spans on
                       TAG_DONE     pickled summary dict
                       TAG_ERROR    pickled traceback string
 
 Deadlock freedom: workers send **nothing** until they receive EOF —
-matches accumulate locally — so while the driver is feeding batches
-its reads can't be required to unblock anyone; after it sends EOF to
-every worker it switches to draining, and workers blocked writing a
-large match chunk proceed as soon as their turn is read.
+matches (and spans) accumulate locally — so while the driver is
+feeding batches its reads can't be required to unblock anyone; after
+it sends EOF to every worker it switches to draining, and workers
+blocked writing a large match chunk proceed as soon as their turn is
+read.
+
+Observability: when the driver enables spans (``spans_sample >= 1``),
+the worker times pipe reads (blocked-read wait), batch decode, and —
+for every sampled batch — the probe calls, insert calls and the one
+meter flush, into a :class:`~repro.obs.spans.SpanRecorder` shipped
+back as a ``TAG_SPANS`` frame. Independent of spans, every worker
+always tracks cheap per-run telemetry (blocked/busy seconds, bytes
+in/out, peak RSS) reported in the ``TAG_DONE`` summary; the timed and
+untimed batch paths issue the identical engine and meter calls, so
+instrumentation can never change an observable.
 """
 
 from __future__ import annotations
 
 import pickle
 import struct
+import sys
 import time
 import traceback
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import JoinConfig
 from repro.core.dedup import PrefixDedupFilter
 from repro.core.local_join import StreamingSetJoin
 from repro.core.metering import WorkMeter
 from repro.core.two_stream import cross_source_filter
+from repro.obs.spans import PHASE_ID, SpanRecorder
 from repro.parallel.codec import (
     INDEX,
     PROBE,
     MatchRow,
     decode_record_batch,
     encode_match_batch,
+    encode_span_frame,
 )
 from repro.records import Record
 from repro.routing.prefix_router import token_owner
@@ -53,12 +68,32 @@ TAG_BATCH = 0x01
 TAG_EOF = 0x02
 TAG_MATCHES = 0x11
 TAG_DONE = 0x12
+TAG_SPANS = 0x13
 TAG_ERROR = 0x7F
 
 #: Rows per TAG_MATCHES frame — bounds peak frame size (~40 bytes/row).
 MATCH_CHUNK = 16384
 
 _U32 = struct.Struct("<I")
+
+_PIPE_READ = PHASE_ID["pipe_read"]
+_DECODE = PHASE_ID["decode"]
+_PROBE_PHASE = PHASE_ID["probe"]
+_INSERT_PHASE = PHASE_ID["insert"]
+_METER_FLUSH = PHASE_ID["meter_flush"]
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 where the
+    ``resource`` module is unavailable, e.g. Windows)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - POSIX-only dependency
+        return 0
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
+        rss //= 1024
+    return int(rss)
 
 
 def build_shard_engine(
@@ -105,13 +140,23 @@ class ShardWorker:
     Used by the forked worker process *and* by the runtime's inline
     executor (single-core fallback / differential tests) — one code
     path, so inline and process runs cannot drift apart.
+
+    ``spans_sample >= 1`` switches on wall-clock span recording with
+    that downsampling stride (0 = off); ``worker`` is the physical
+    worker id stamped onto telemetry and spans.
     """
 
     def __init__(
-        self, config: JoinConfig, shard_ids: Sequence[int], num_shards: int
+        self,
+        config: JoinConfig,
+        shard_ids: Sequence[int],
+        num_shards: int,
+        spans_sample: int = 0,
+        worker: int = 0,
     ):
         self.config = config
         self.num_shards = num_shards
+        self.worker = worker
         self.func = get_similarity(config.similarity, config.threshold)
         self.meters: Dict[int, WorkMeter] = {}
         self.engines: Dict[int, StreamingSetJoin] = {}
@@ -128,10 +173,36 @@ class ShardWorker:
         #: ``(start, end)`` monotonic spans of batch processing, for the
         #: driver's busy/idle timeline.
         self.intervals: List[Tuple[float, float]] = []
+        #: Telemetry filled by the hosting loop (``worker_main`` or the
+        #: inline executor): blocked-read seconds, frame bytes each way,
+        #: and the worker's total lifetime.
+        self.blocked_s = 0.0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.lifetime_s = 0.0
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(sample=spans_sample) if spans_sample >= 1 else None
+        )
+        #: Per-shard batch sequence numbers — the deterministic sampling
+        #: key (a pure function of the shard plan and batch size, never
+        #: of the wall clock or the worker count).
+        self._batch_seq: Dict[int, int] = {}
+
+    def will_sample(self, shard: int) -> bool:
+        """Whether the *next* batch of ``shard`` lands in the sample."""
+        return self.spans is not None and self.spans.keep(
+            self._batch_seq.get(shard, 0)
+        )
 
     def process_batch(
         self, shard: int, items: Sequence[Tuple[int, Record]]
     ) -> None:
+        if self.spans is not None:
+            seq = self._batch_seq.get(shard, 0)
+            self._batch_seq[shard] = seq + 1
+            if self.spans.keep(seq):
+                self._process_batch_timed(shard, items, seq)
+                return
         start = time.monotonic()
         engine = self.engines[shard]
         meter = self.meters[shard]
@@ -157,6 +228,64 @@ class ShardWorker:
         self.busy_s += end - start
         self.intervals.append((start, end))
 
+    def _process_batch_timed(
+        self, shard: int, items: Sequence[Tuple[int, Record]], seq: int
+    ) -> None:
+        """The sampled path: identical engine/meter calls in identical
+        order, plus accumulated probe/insert timing and a separately
+        timed meter flush. Emitted spans tile the batch window in
+        canonical phase order (probe, insert, flush) — per-phase totals
+        are exact, positions within the batch approximate (the two
+        phases interleave per record)."""
+        monotonic = time.monotonic
+        start = monotonic()
+        engine = self.engines[shard]
+        meter = self.meters[shard]
+        rows = self.matches
+        probe_s = insert_s = 0.0
+        had_probe = had_insert = False
+        batched = engine.batched()
+        batched.__enter__()
+        try:
+            for op, record in items:
+                if op & PROBE:
+                    had_probe = True
+                    t0 = monotonic()
+                    matches = engine.probe(record)
+                    probe_s += monotonic() - t0
+                    meter.event("results", len(matches))
+                    if matches:
+                        ts, rid = record.timestamp, record.rid
+                        for m in matches:
+                            rows.append(
+                                (ts, rid, m.partner.rid, m.overlap, m.similarity)
+                            )
+                if op & INDEX:
+                    had_insert = True
+                    t0 = monotonic()
+                    engine.insert(record)
+                    insert_s += monotonic() - t0
+        except BaseException:
+            batched.__exit__(*sys.exc_info())
+            raise
+        flush_start = monotonic()
+        batched.__exit__(None, None, None)
+        end = monotonic()
+
+        spans = self.spans
+        cursor = start
+        if had_probe:
+            spans.record(_PROBE_PHASE, cursor, cursor + probe_s, shard, seq)
+            cursor += probe_s
+        if had_insert:
+            spans.record(_INSERT_PHASE, cursor, cursor + insert_s, shard, seq)
+        spans.record(_METER_FLUSH, flush_start, end, shard, seq)
+
+        self.records += len(items)
+        self.batches += 1
+        self.busy_s += end - start
+        self.intervals.append((start, end))
+
     def finish(self) -> dict:
         """Final-postings events, canonical match order, summary dict."""
         for shard in sorted(self.engines):
@@ -164,6 +293,7 @@ class ShardWorker:
                 "final_postings", self.engines[shard].live_postings
             )
         self.matches.sort()
+        spans = self.spans
         return {
             "meters": {
                 shard: {
@@ -177,6 +307,13 @@ class ShardWorker:
             "batches": self.batches,
             "busy_s": self.busy_s,
             "intervals": list(self.intervals),
+            "blocked_s": self.blocked_s,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "lifetime_s": self.lifetime_s,
+            "peak_rss_kb": peak_rss_kb(),
+            "span_count": len(spans) if spans is not None else 0,
+            "span_record_cost_s": spans.record_cost_s if spans is not None else 0.0,
         }
 
 
@@ -186,26 +323,57 @@ def worker_main(
     config: JoinConfig,
     shard_ids: Sequence[int],
     num_shards: int,
+    spans_sample: int = 0,
 ) -> None:
     """Child-process entry point (module-level: spawn-context picklable)."""
+    born = time.monotonic()
     try:
-        worker = ShardWorker(config, shard_ids, num_shards)
+        worker = ShardWorker(
+            config, shard_ids, num_shards,
+            spans_sample=spans_sample, worker=worker_id,
+        )
+        spans = worker.spans
+        frames = 0
         while True:
+            t_wait = time.monotonic()
             msg = conn.recv_bytes()
+            t_got = time.monotonic()
+            worker.blocked_s += t_got - t_wait
+            worker.bytes_in += len(msg)
+            if spans is not None and spans.keep(frames):
+                spans.record(_PIPE_READ, t_wait, t_got, -1, frames)
+            frames += 1
             tag = msg[0]
             if tag == TAG_BATCH:
                 (shard,) = _U32.unpack_from(msg, 1)
-                worker.process_batch(
-                    shard, decode_record_batch(msg[1 + _U32.size :])
-                )
+                payload = msg[1 + _U32.size :]
+                if spans is not None and worker.will_sample(shard):
+                    seq = worker._batch_seq.get(shard, 0)
+                    t0 = time.monotonic()
+                    items = decode_record_batch(payload)
+                    spans.record(_DECODE, t0, time.monotonic(), shard, seq)
+                else:
+                    items = decode_record_batch(payload)
+                worker.process_batch(shard, items)
             elif tag == TAG_EOF:
+                worker.lifetime_s = time.monotonic() - born
                 summary = worker.finish()
                 rows = worker.matches
-                for i in range(0, len(rows), MATCH_CHUNK):
-                    conn.send_bytes(
-                        bytes([TAG_MATCHES])
-                        + encode_match_batch(rows[i : i + MATCH_CHUNK])
+                out_frames = [
+                    bytes([TAG_MATCHES])
+                    + encode_match_batch(rows[i : i + MATCH_CHUNK])
+                    for i in range(0, len(rows), MATCH_CHUNK)
+                ]
+                if spans is not None:
+                    out_frames.append(
+                        bytes([TAG_SPANS]) + encode_span_frame(*spans.columns())
                     )
+                # bytes_out counts the data plane (match + span frames);
+                # the pickled summary frame itself is excluded — it has
+                # to carry the final byte count.
+                summary["bytes_out"] = sum(len(f) for f in out_frames)
+                for frame in out_frames:
+                    conn.send_bytes(frame)
                 conn.send_bytes(bytes([TAG_DONE]) + pickle.dumps(summary))
                 return
             else:

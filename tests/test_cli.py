@@ -1,6 +1,7 @@
 """CLI round-trips: generate → stats → join → bench."""
 
 import json
+import os
 
 import pytest
 
@@ -150,6 +151,107 @@ class TestJoinParallel:
         assert main(["join", str(corpus_file), "--parallel",
                      "--trace-out", str(tmp_path / "t.jsonl")]) == 2
         assert "simulated cluster" in capsys.readouterr().err
+
+    def test_rejects_spans_out_without_parallel(self, corpus_file, tmp_path,
+                                                capsys):
+        assert main(["join", str(corpus_file),
+                     "--spans-out", str(tmp_path / "s.jsonl")]) == 2
+        assert "--spans-out requires --parallel" in capsys.readouterr().err
+
+    def test_rejects_bad_spans_sample(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--spans-sample", "0"]) == 2
+        assert "--spans-sample" in capsys.readouterr().err
+
+    def test_metrics_out_works_in_parallel_mode(self, corpus_file, tmp_path,
+                                                capsys):
+        metrics = tmp_path / "metrics.json"
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--workers", "2", "--threshold", "0.7",
+                     "--metrics-out", str(metrics)]) == 0
+        payload = json.loads(metrics.read_text())
+        assert "run_wall_seconds" in payload["metrics"]
+        assert "worker_busy_seconds" in payload["metrics"]
+        capsys.readouterr()
+
+    def test_spans_out_writes_artefact(self, corpus_file, tmp_path, capsys):
+        spans = tmp_path / "spans.jsonl"
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--workers", "2", "--threshold", "0.7",
+                     "--spans-out", str(spans)]) == 0
+        out = capsys.readouterr().out
+        assert "spans:" in out and "driver coverage" in out
+        lines = spans.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "header" and header["workers"] == 2
+
+
+class TestSpansCommand:
+    FIXTURE = os.path.join(
+        os.path.dirname(__file__), "data", "spans_fixture.jsonl"
+    )
+
+    @pytest.fixture
+    def spans_file(self, tmp_path, capsys):
+        corpus = tmp_path / "c.txt"
+        corpus.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\nomega psi chi rho\n"
+        )
+        path = tmp_path / "spans.jsonl"
+        assert main(["join", str(corpus), "--parallel", "--workers", "2",
+                     "--threshold", "0.7", "--spans-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_analyze_fixture(self, capsys):
+        assert main(["spans", self.FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "driver phases" in out
+        assert "critical path" in out
+        assert "recorder overhead" in out
+        assert "wall time" in out  # the waterfall axis
+        assert "worker 1" in out   # the drain-window straggler
+
+    def test_json_output(self, capsys):
+        assert main(["spans", self.FIXTURE, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["phase_totals"]["driver_coverage"] == 1.0
+        stages = [s["stage"] for s in payload["critical_path"]]
+        assert stages == ["setup", "feed", "drain", "merge"]
+
+    def test_smoke_on_fixture(self, capsys):
+        assert main(["spans", self.FIXTURE, "--smoke"]) == 0
+        assert "spans smoke ok" in capsys.readouterr().out
+
+    def test_smoke_on_live_run(self, spans_file, capsys):
+        assert main(["spans", str(spans_file), "--smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "spans smoke ok" in out and "driver coverage" in out
+        assert main(["spans", str(spans_file)]) == 0
+        assert "critical path" in capsys.readouterr().out
+
+    def test_smoke_fails_on_gappy_file(self, tmp_path, capsys):
+        lines = [l for l in open(self.FIXTURE).read().splitlines()
+                 if '"merge"' not in l]
+        bad = tmp_path / "gappy.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        assert main(["spans", str(bad), "--smoke"]) == 1
+        assert "no span covers phase 'merge'" in capsys.readouterr().err
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["spans", str(tmp_path / "nope.jsonl")]) == 2
+        assert "spans:" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "header"\n')
+        assert main(["spans", str(bad)]) == 2
+        assert "corrupt span line" in capsys.readouterr().err
+
+    def test_rejects_narrow_width(self, capsys):
+        assert main(["spans", self.FIXTURE, "--width", "5"]) == 2
+        assert "--width" in capsys.readouterr().err
 
 
 class TestBench:

@@ -1,0 +1,410 @@
+"""Wall-clock span pipeline: recorder, wire frame, artefact, analyzer.
+
+Three layers under test, mirroring the pipeline's structure:
+
+* the building blocks — :class:`SpanRecorder`, the ``TAG_SPANS`` wire
+  frame codec, and the JSONL artefact round-trip with pointed errors;
+* the analyzer on a committed fixture whose numbers are small enough
+  to check by hand (``tests/data/spans_fixture.jsonl``);
+* live runs — span *structure* (phase/shard/batch multisets) must be a
+  pure function of the shard plan, identical across worker counts and
+  deterministically thinned by ``--spans-sample``; recording spans must
+  not perturb the bit-identical observables contract; and the process
+  executor's spans document must pass its own smoke gate.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.obs.exporters import metrics_to_json
+from repro.obs.health import HealthMonitor, HealthThresholds
+from repro.obs.spans import (
+    DRIVER,
+    PHASE_ID,
+    SPANS_SCHEMA_VERSION,
+    SpanRecorder,
+    critical_path,
+    load_spans_jsonl,
+    phase_totals,
+    smoke_check,
+    split_rows,
+    validate_span_lines,
+    waterfall,
+)
+from repro.parallel import ParallelJoinRunner, run_serial
+from repro.parallel.codec import CodecError, decode_span_frame, encode_span_frame
+from repro.parallel.merge import worker_health, worker_metrics
+
+from tests.test_parallel_differential import (
+    assert_equal_observables,
+    fuzz_records,
+    try_process_run,
+)
+
+FIXTURE = os.path.join(os.path.dirname(__file__), "data", "spans_fixture.jsonl")
+
+#: Phases whose span structure is shard/batch-attributed and therefore
+#: deterministic across worker counts (pipe_read is per-frame, and the
+#: driver's window spans are per-run — both trivially stable in count
+#: but not shard-keyed).
+STRUCTURAL_PHASES = ("encode", "decode", "probe", "insert", "meter_flush")
+
+
+def structure(result):
+    """Multiset of (phase, shard, batch) for shard-attributed spans."""
+    rows = result.spans_document()[1:]
+    return sorted(
+        (row["phase"], row["shard"], row["batch"])
+        for row in rows
+        if row["phase"] in STRUCTURAL_PHASES
+    )
+
+
+class TestSpanRecorder:
+    def test_rejects_bad_capacity_and_sample(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SpanRecorder(capacity=0)
+        with pytest.raises(ValueError, match="sample"):
+            SpanRecorder(sample=0)
+
+    def test_record_and_rows_rebased(self):
+        recorder = SpanRecorder(capacity=4, measure=False)
+        recorder.record(PHASE_ID["probe"], 10.5, 10.75, shard=3, batch=2)
+        assert len(recorder) == 1
+        (row,) = recorder.rows(base=10.0, worker=4)
+        assert row == {
+            "kind": "span", "phase": "probe", "worker": 4,
+            "shard": 3, "batch": 2, "start": 0.5, "end": 0.75,
+        }
+
+    def test_grows_past_preallocated_capacity(self):
+        recorder = SpanRecorder(capacity=2, measure=False)
+        for i in range(9):
+            recorder.record(PHASE_ID["insert"], float(i), float(i) + 0.5, shard=i)
+        assert len(recorder) == 9
+        assert recorder.capacity >= 9
+        phases, shards, batches, starts, ends = recorder.columns()
+        assert list(shards) == list(range(9))
+        assert starts[8] == 8.0 and ends[8] == 8.5
+
+    def test_keep_is_every_nth_batch_index(self):
+        recorder = SpanRecorder(sample=3, measure=False)
+        assert [recorder.keep(i) for i in range(7)] == [
+            True, False, False, True, False, False, True,
+        ]
+
+    def test_overhead_budget_is_count_times_cost(self):
+        recorder = SpanRecorder(capacity=8)
+        assert recorder.record_cost_s > 0
+        for _ in range(5):
+            recorder.record(0, 0.0, 1.0)
+        assert recorder.estimated_overhead_s() == pytest.approx(
+            5 * recorder.record_cost_s
+        )
+
+    def test_measure_false_skips_calibration(self):
+        assert SpanRecorder(measure=False).record_cost_s == 0.0
+
+
+class TestSpanFrameCodec:
+    def frame(self, n=3):
+        recorder = SpanRecorder(capacity=max(n, 1), measure=False)
+        for i in range(n):
+            recorder.record(
+                PHASE_ID["decode"], 0.25 * i, 0.25 * i + 0.1, shard=i, batch=i * 2
+            )
+        return encode_span_frame(*recorder.columns()), recorder
+
+    def test_round_trip(self):
+        frame, recorder = self.frame()
+        phases, shards, batches, starts, ends = decode_span_frame(frame)
+        ophases, oshards, obatches, ostarts, oends = recorder.columns()
+        assert list(phases) == list(ophases)
+        assert list(shards) == list(oshards)
+        assert list(batches) == list(obatches)
+        assert list(starts) == list(ostarts)
+        assert list(ends) == list(oends)
+
+    def test_empty_frame_round_trips(self):
+        frame, _ = self.frame(n=0)
+        columns = decode_span_frame(frame)
+        assert all(len(column) == 0 for column in columns)
+
+    def test_truncated_header_is_pointed(self):
+        with pytest.raises(CodecError, match="span frame truncated"):
+            decode_span_frame(b"\x50")
+
+    def test_truncated_body_is_pointed(self):
+        frame, _ = self.frame()
+        with pytest.raises(CodecError, match="inconsistent"):
+            decode_span_frame(frame[:-4])
+
+    def test_bad_magic(self):
+        frame, _ = self.frame()
+        with pytest.raises(CodecError, match="magic"):
+            decode_span_frame(b"\x00\x00" + frame[2:])
+
+    def test_bad_version(self):
+        frame, _ = self.frame()
+        with pytest.raises(CodecError, match="version"):
+            decode_span_frame(frame[:2] + b"\x63" + frame[3:])
+
+
+class TestSpansArtefact:
+    def test_fixture_is_schema_valid(self):
+        assert validate_span_lines(load_spans_jsonl(FIXTURE)) == []
+
+    def test_corrupt_line_error_is_pointed(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        lines = open(FIXTURE).read().splitlines()
+        lines[3] = lines[3][:-5]  # chop mid-object
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError, match=r"bad\.jsonl:4: corrupt span line"):
+            load_spans_jsonl(str(path))
+
+    def test_validation_failures_are_specific(self):
+        rows = load_spans_jsonl(FIXTURE)
+        header = dict(rows[0])
+        del header["wall_s"]
+        header["schema"] = 99
+        bad_span = dict(rows[1])
+        bad_span["phase"] = "warp"
+        bad_span["start"], bad_span["end"] = 2.0, 1.0
+        errors = validate_span_lines([header, bad_span])
+        assert any("unsupported spans schema" in e for e in errors)
+        assert any("missing field 'wall_s'" in e for e in errors)
+        assert any("unknown phase 'warp'" in e for e in errors)
+        assert any("ends before it starts" in e for e in errors)
+
+    def test_missing_header_raises(self):
+        rows = load_spans_jsonl(FIXTURE)
+        with pytest.raises(ValueError, match="no header"):
+            split_rows(rows[1:])
+        errors = validate_span_lines(rows[1:])
+        assert any("not a header" in e for e in errors)
+
+    def test_empty_dump_is_invalid(self):
+        assert validate_span_lines([]) == ["empty spans file"]
+
+
+class TestAnalyzerOnFixture:
+    """The committed fixture's numbers are small enough to hand-check:
+    driver windows 0.02 + 0.03 + 0.045 + 0.005 tile the 0.1s wall
+    exactly, and worker 1 dominates the drain window (0.041s busy)."""
+
+    @pytest.fixture
+    def rows(self):
+        return load_spans_jsonl(FIXTURE)
+
+    def test_phase_totals(self, rows):
+        totals = phase_totals(rows)
+        assert totals["wall_s"] == 0.1
+        assert totals["driver_covered_s"] == 0.1
+        assert totals["driver_coverage"] == 1.0
+        assert totals["driver"] == {
+            "setup": 0.02, "feed": 0.023, "encode": 0.003,
+            "pipe_write": 0.004, "drain": 0.045, "merge": 0.005,
+        }
+        assert totals["workers"] == {
+            "0": {"pipe_read": 0.011, "decode": 0.001, "probe": 0.034,
+                  "insert": 0.01, "meter_flush": 0.001},
+            "1": {"pipe_read": 0.024, "decode": 0.001, "probe": 0.045,
+                  "insert": 0.01, "meter_flush": 0.001},
+        }
+
+    def test_critical_path(self, rows):
+        path = critical_path(rows)
+        assert [stage["stage"] for stage in path] == [
+            "setup", "feed", "drain", "merge",
+        ]
+        assert [stage["critical"] for stage in path] == [
+            "driver", "driver", "worker 1", "driver",
+        ]
+        drain = path[2]
+        assert drain["seconds"] == 0.045
+        assert drain["busy_s"] == 0.041
+        assert drain["utilisation"] == 0.9111
+        # Window durations reproduce the covered wall time.
+        assert sum(stage["seconds"] for stage in path) == pytest.approx(0.1)
+
+    def test_waterfall_renders_wall_axis(self, rows):
+        art = waterfall(rows, width=40)
+        assert "wall time" in art
+        for phase in ("setup", "feed", "drain", "merge", "probe[1]"):
+            assert phase in art
+
+    def test_smoke_check_passes(self, rows):
+        assert smoke_check(rows) == []
+
+    def test_smoke_check_catches_overbudget_and_gaps(self, rows):
+        inflated = [dict(row) for row in rows]
+        inflated[0]["wall_s"] = 0.01
+        failures = smoke_check(inflated)
+        assert any("exceed wall time" in f for f in failures)
+        gappy = [row for row in rows if row.get("phase") != "merge"]
+        assert any("no span covers phase 'merge'" in f for f in smoke_check(gappy))
+
+
+class TestLiveSpans:
+    """Spans recorded by real runs: deterministic structure, preserved
+    observables, honest headers."""
+
+    @pytest.fixture(scope="class")
+    def records(self):
+        return fuzz_records(seed=7, n=200)
+
+    def run(self, records, workers, executor="inline", **kwargs):
+        return ParallelJoinRunner(
+            config=JoinConfig(threshold=0.6),
+            workers=workers,
+            executor=executor,
+            batch_size=32,
+            spans=True,
+            **kwargs,
+        ).run(records)
+
+    def test_disabled_by_default(self, records):
+        result = ParallelJoinRunner(JoinConfig(threshold=0.6), workers=2).run(
+            records
+        )
+        with pytest.raises(ValueError, match="recorded no spans"):
+            result.spans_document()
+
+    def test_rejects_bad_sample(self):
+        with pytest.raises(ValueError, match="spans_sample"):
+            ParallelJoinRunner(JoinConfig(), spans=True, spans_sample=0)
+
+    def test_structure_identical_across_worker_counts(self, records):
+        baseline = structure(self.run(records, workers=1))
+        assert baseline, "run recorded no structural spans"
+        for workers in (2, 3):
+            assert structure(self.run(records, workers=workers)) == baseline
+
+    def test_sampling_thins_by_batch_index(self, records):
+        full = structure(self.run(records, workers=2))
+        sampled = structure(self.run(records, workers=2, spans_sample=2))
+        expected = [
+            (phase, shard, batch) for phase, shard, batch in full if batch % 2 == 0
+        ]
+        assert sampled == expected
+        header = self.run(records, workers=2, spans_sample=2).spans_document()[0]
+        assert header["sample"] == 2
+
+    def test_spans_do_not_perturb_observables(self, records):
+        config = JoinConfig(threshold=0.6)
+        serial = run_serial(config, records)
+        for workers in (1, 3):
+            result = self.run(records, workers=workers)
+            assert_equal_observables(serial, result, f"spans/workers={workers}")
+
+    def test_header_budget_and_smoke(self, records):
+        result = self.run(records, workers=2)
+        document = result.spans_document()
+        header = document[0]
+        assert header["schema"] == SPANS_SCHEMA_VERSION
+        assert header["executor"] == "inline"
+        assert header["workers"] == 2
+        overhead = header["overhead"]
+        assert overhead["driver"]["count"] > 0
+        assert overhead["driver"]["estimated_s"] == pytest.approx(
+            overhead["driver"]["count"] * overhead["driver"]["record_cost_s"],
+            rel=1e-3,  # the header rounds both figures
+        )
+        assert set(overhead["workers"]) == {"0", "1"}
+        assert smoke_check(document) == []
+        totals = result.phase_totals()
+        assert 0.95 <= totals["driver_coverage"] <= 1.02
+
+    def test_process_executor_spans(self, records):
+        runner = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="process",
+            batch_size=32, spans=True,
+        )
+        result = try_process_run(runner, records)
+        document = result.spans_document()
+        assert document[0]["executor"] == "process"
+        assert smoke_check(document) == []
+        phases = {row["phase"] for row in document[1:]}
+        assert {"pipe_write", "pipe_read", "drain"} <= phases
+        for stats in result.worker_stats:
+            assert stats["lifetime_s"] > 0
+            assert stats["bytes_in"] > 0
+            assert stats["bytes_out"] > 0
+
+    def test_write_spans_round_trips(self, records, tmp_path):
+        result = self.run(records, workers=2)
+        path = tmp_path / "spans.jsonl"
+        lines = result.write_spans(str(path))
+        rows = load_spans_jsonl(str(path))
+        assert len(rows) == lines
+        assert validate_span_lines(rows) == []
+        assert phase_totals(rows)["driver_coverage"] == result.phase_totals()[
+            "driver_coverage"
+        ]
+
+
+class TestParallelHealthDetectors:
+    def test_backpressure_levels_one_shot(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 1.0, "pipe_blocked_write_fraction", 0.1)
+        assert monitor.events == []
+        monitor.on_signal("driver", 0, 1.0, "pipe_blocked_write_fraction", 0.3)
+        monitor.on_signal("driver", 0, 1.2, "pipe_blocked_write_fraction", 0.4)
+        assert [e.severity for e in monitor.events] == ["warning"]
+        monitor.on_signal("driver", 0, 1.5, "pipe_blocked_write_fraction", 0.7)
+        assert [e.severity for e in monitor.events] == ["warning", "critical"]
+        assert all(e.detector == "pipe_backpressure" for e in monitor.events)
+
+    def test_starvation_levels_one_shot(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("pworker", 3, 1.0, "worker_starved_fraction", 0.5)
+        assert monitor.events == []
+        monitor.on_signal("pworker", 3, 1.0, "worker_starved_fraction", 0.95)
+        (event,) = monitor.events
+        assert event.detector == "worker_starvation"
+        assert event.severity == "critical"
+        assert event.task == 3
+
+    def test_thresholds_exported(self):
+        snapshot = HealthThresholds().as_dict()
+        for key in (
+            "backpressure_warning", "backpressure_critical",
+            "starvation_warning", "starvation_critical",
+        ):
+            assert key in snapshot
+
+    def test_worker_health_reads_summary_telemetry(self):
+        records = fuzz_records(seed=11, n=120)
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, batch_size=32, spans=True
+        ).run(records)
+        # Inline workers never block, so forge a starved worker the way
+        # a slow pipe would present it in the summary telemetry.
+        result.worker_stats[0]["blocked_s"] = 0.95
+        result.worker_stats[0]["lifetime_s"] = 1.0
+        monitor = worker_health(result)
+        detectors = {event.detector for event in monitor.events}
+        assert "worker_starvation" in detectors
+
+
+class TestWorkerMetrics:
+    def test_registry_gauges(self):
+        records = fuzz_records(seed=13, n=150)
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, batch_size=32
+        ).run(records)
+        registry = result.metrics_registry()
+        dump = json.loads(json.dumps(metrics_to_json(registry)))
+        names = set(dump["metrics"])
+        assert {
+            "run_wall_seconds", "run_workers", "worker_busy_seconds",
+            "worker_blocked_seconds", "worker_idle_seconds",
+            "worker_bytes_in", "worker_bytes_out",
+            "worker_lifetime_seconds", "worker_peak_rss_kb",
+        } <= names
+        assert dump["metrics"]["run_workers"]["series"][0]["value"] == 2
+        per_worker = dump["metrics"]["worker_busy_seconds"]["series"]
+        assert {str(row["labels"]["task"]) for row in per_worker} == {"0", "1"}
