@@ -60,6 +60,10 @@ SCALING_WORKER_COUNTS = (1, 2, 4, 8)
 #: targets at 4 workers over 1 worker, on hosts with >= 4 cores.
 PARALLEL_SPEEDUP_TARGET = 1.6
 
+#: Maximum acceptable wall-clock overhead of heartbeat telemetry at the
+#: default sampling interval (fraction over the telemetry-off wall).
+TELEMETRY_OVERHEAD_TARGET = 0.05
+
 #: The headline corpus (density-calibrated like ``benchmarks.common``:
 #: the paper's postings-per-token density at laptop-scale record
 #: counts).
@@ -281,6 +285,84 @@ def parallel_scaling_section(
     return section
 
 
+def telemetry_overhead_section(
+    workers: int = 2,
+    repeats: int = 3,
+    similarity: str = "jaccard",
+    threshold: float = 0.8,
+    seed: int = SEED,
+    scale: float = 1.0,
+    corpus: str = HEADLINE_CORPUS,
+    batch_size: Optional[int] = None,
+) -> Dict[str, object]:
+    """Heartbeat-telemetry overhead check (``parallel.telemetry``).
+
+    The same calibrated workload the scaling sweep uses is run through
+    the process executor twice — telemetry off, then telemetry on at
+    the default :data:`~repro.obs.timeseries.DEFAULT_HEARTBEAT_INTERVAL`
+    — best-of-``repeats`` each. ``overhead_fraction`` is the relative
+    wall-clock cost of the heartbeat channel (``on/off - 1``; negative
+    values are run-to-run noise, reported as measured). The telemetry-on
+    run's observables are diffed against
+    :func:`~repro.parallel.runtime.run_serial` ground truth —
+    ``correctness`` is the differential guarantee CI gates on, the
+    timing target (:data:`TELEMETRY_OVERHEAD_TARGET`) is reported but
+    never gated (shared runners are too noisy).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    from repro.obs.timeseries import DEFAULT_HEARTBEAT_INTERVAL
+
+    base_n, generator, _ = WALLCLOCK_CORPORA[corpus]
+    n = max(100, int(base_n * scale))
+    records = list(generator(n, seed))
+    config = JoinConfig(similarity=similarity, threshold=threshold)
+    if batch_size is not None:
+        config = config.replace(batch_size=batch_size)
+    serial = run_serial(config, records)
+
+    # Interleave off/on pairs (not all-off-then-all-on) so slow drift
+    # on a time-shared host cancels instead of biasing the ratio.
+    off = on = None
+    for _ in range(repeats):
+        result = ParallelJoinRunner(config, workers=workers).run(records)
+        if off is None or result.wall_s < off.wall_s:
+            off = result
+        result = ParallelJoinRunner(
+            config, workers=workers, telemetry=True
+        ).run(records)
+        if on is None or result.wall_s < on.wall_s:
+            on = result
+    overhead = on.wall_s / off.wall_s - 1.0 if off.wall_s > 0 else 0.0
+    samples = on.telemetry_samples()
+    dropped = sum(
+        int(stats.get("heartbeats_dropped", 0) or 0)
+        for stats in on.worker_stats
+    )
+    health_events = sum(
+        1 for row in (on.telemetry or []) if row.get("kind") == "health"
+    )
+    return {
+        "corpus": corpus,
+        "records": n,
+        "workers": workers,
+        "interval_s": DEFAULT_HEARTBEAT_INTERVAL,
+        "wall_off_s": round(off.wall_s, 6),
+        "wall_on_s": round(on.wall_s, 6),
+        "overhead_fraction": round(overhead, 4),
+        "target": TELEMETRY_OVERHEAD_TARGET,
+        "meets_target": overhead <= TELEMETRY_OVERHEAD_TARGET,
+        "samples": samples,
+        "dropped": dropped,
+        "health_events": health_events,
+        "correctness": {
+            "matches_equal": on.matches == serial.matches,
+            "operations_equal": on.operations == serial.operations,
+            "events_equal": on.events == serial.events,
+        },
+    }
+
+
 def wallclock_suite(
     corpora: Optional[List[str]] = None,
     repeats: int = 3,
@@ -305,7 +387,9 @@ def wallclock_suite(
     workers:
         When set, also run the multi-core scaling sweep up to this many
         worker processes and attach it as ``payload["parallel"]
-        ["scaling"]`` (see :func:`parallel_scaling_section`).
+        ["scaling"]`` (see :func:`parallel_scaling_section`), plus the
+        heartbeat-telemetry overhead check as ``payload["parallel"]
+        ["telemetry"]`` (see :func:`telemetry_overhead_section`).
     batch_size:
         IPC batch size for the scaling sweep (default:
         ``JoinConfig.batch_size``).
@@ -420,7 +504,16 @@ def wallclock_suite(
                 seed=seed,
                 scale=scale,
                 batch_size=batch_size,
-            )
+            ),
+            "telemetry": telemetry_overhead_section(
+                workers=min(2, workers),
+                repeats=repeats,
+                similarity=similarity,
+                threshold=threshold,
+                seed=seed,
+                scale=scale,
+                batch_size=batch_size,
+            ),
         }
     return payload
 
@@ -438,7 +531,11 @@ def correctness_ok(payload: Dict[str, object]) -> bool:
         all(entry["correctness"].values())
         for entry in scaling.get("workers", {}).values()
     )
-    return engines_ok and parallel_ok
+    telemetry = payload.get("parallel", {}).get("telemetry")
+    telemetry_ok = (
+        all(telemetry["correctness"].values()) if telemetry else True
+    )
+    return engines_ok and parallel_ok and telemetry_ok
 
 
 def render_wallclock(payload: Dict[str, object]) -> str:
@@ -487,4 +584,18 @@ def render_wallclock(payload: Dict[str, object]) -> str:
             )
         if scaling.get("note"):
             lines.append(f"    note: {scaling['note']}")
+    telemetry = payload.get("parallel", {}).get("telemetry")
+    if telemetry:
+        ok = all(telemetry["correctness"].values())
+        lines.append(
+            f"  telemetry overhead: workers={telemetry['workers']} "
+            f"interval={telemetry['interval_s']}s  "
+            f"wall {telemetry['wall_off_s']*1e3:.1f}ms -> "
+            f"{telemetry['wall_on_s']*1e3:.1f}ms "
+            f"({telemetry['overhead_fraction']:+.1%}, "
+            f"target <= {telemetry['target']:.0%}: "
+            f"{'met' if telemetry['meets_target'] else 'NOT met'})  "
+            f"{telemetry['samples']} samples, {telemetry['dropped']} dropped  "
+            f"correctness {'ok' if ok else 'MISMATCH'}"
+        )
     return "\n".join(lines)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands cover the workflows a downstream user needs:
+Ten commands cover the workflows a downstream user needs:
 
 ``join``
     Run the distributed streaming join over a token file (one record
@@ -32,6 +32,16 @@ Eight commands cover the workflows a downstream user needs:
     ``--smoke`` gates the file instead (parses, expected phases
     present, phase totals bounded by wall time) — CI's parallel
     observability gate.
+``top``
+    Live ANSI view of a running (or finished) parallel join: tail a
+    ``join --parallel --telemetry-out`` file and repaint per-worker
+    throughput sparklines, phase mix and health flags — no curses
+    dependency, works over ssh and in CI logs.
+``telemetry``
+    Post-hoc analyzer for a telemetry file, mirroring the ``spans``
+    UX: per-worker sample digest, peak throughput, health event
+    counts. ``--smoke`` gates the file instead (schema-valid, closed
+    by a final row, every worker sampled) — CI's live-telemetry gate.
 ``diff``
     Compare two run artefacts (metrics dumps or stored fingerprints)
     under the regression-gate policy: exact on deterministic counters,
@@ -148,6 +158,15 @@ def build_parser() -> argparse.ArgumentParser:
                       help="record batch-scoped spans for every Nth batch "
                            "of each shard (deterministic, seeded by batch "
                            "index; default 1 = every batch)")
+    join.add_argument("--telemetry-out", default=None, metavar="PATH",
+                      help="stream live worker heartbeats (rolling "
+                           "counters + online health) as JSONL; requires "
+                           "--parallel; tail it with `repro top`")
+    join.add_argument("--heartbeat-interval", type=float, default=None,
+                      metavar="SECONDS",
+                      help="worker telemetry sampling interval in seconds "
+                           "(default 0.25); requires --parallel; implies "
+                           "live telemetry collection")
     _add_obs_flags(join, default_stride=1)
 
     bench = commands.add_parser("bench", help="compare methods on a synthetic corpus")
@@ -235,6 +254,34 @@ def build_parser() -> argparse.ArgumentParser:
                             "critical path only")
     spans.add_argument("--width", type=int, default=60,
                        help="waterfall width in time buckets (default 60)")
+
+    top = commands.add_parser(
+        "top", help="live view of a parallel join (tails --telemetry-out)"
+    )
+    top.add_argument("input",
+                     help="telemetry JSONL file (may still be being written "
+                          "by a running join)")
+    top.add_argument("--once", action="store_true",
+                     help="render one frame from the file's current "
+                          "contents and exit (no repainting)")
+    top.add_argument("--refresh", type=float, default=0.5, metavar="SECONDS",
+                     help="seconds between repaints (default 0.5)")
+    top.add_argument("--duration", type=float, default=None, metavar="SECONDS",
+                     help="stop after this many seconds (default: follow "
+                          "until the run's final row)")
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="analyze a telemetry file (join --parallel --telemetry-out)",
+    )
+    telemetry.add_argument("input", help="telemetry JSONL file")
+    telemetry.add_argument("--smoke", action="store_true",
+                           help="gate the file instead of analyzing it: "
+                                "schema-valid, closed by a final row, at "
+                                "least one sample per worker; exit 1 on "
+                                "failure")
+    telemetry.add_argument("--json", action="store_true",
+                           help="print the machine-readable summary only")
 
     diff = commands.add_parser(
         "diff", help="regression-gate two run artefacts (dumps or fingerprints)"
@@ -361,6 +408,24 @@ def _cmd_join(args) -> int:
               "come from the multi-core runtime; the simulated cluster "
               "has --trace-out)", file=sys.stderr)
         return 2
+    if args.telemetry_out and not args.parallel:
+        print("join: --telemetry-out requires --parallel (live heartbeats "
+              "come from the multi-core runtime's worker processes; the "
+              "simulated cluster has --health-out)", file=sys.stderr)
+        return 2
+    if args.heartbeat_interval is not None:
+        if not args.parallel:
+            print("join: --heartbeat-interval requires --parallel (it sets "
+                  "the worker heartbeat sampling cadence)", file=sys.stderr)
+            return 2
+        if (
+            not math.isfinite(args.heartbeat_interval)
+            or args.heartbeat_interval <= 0
+        ):
+            print(f"join: --heartbeat-interval must be a positive finite "
+                  f"number of seconds, got {args.heartbeat_interval}",
+                  file=sys.stderr)
+            return 2
     stream, dictionary = load_token_file(
         args.input, rate=args.rate, max_records=args.max_records
     )
@@ -446,6 +511,10 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         workers=args.workers,
         spans=args.spans_out is not None,
         spans_sample=args.spans_sample,
+        telemetry=args.telemetry_out is not None
+        or args.heartbeat_interval is not None,
+        telemetry_out=args.telemetry_out,
+        heartbeat_interval=args.heartbeat_interval,
     )
     result = runner.run(stream)
     print(format_table([{
@@ -472,6 +541,16 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         coverage = result.phase_totals()["driver_coverage"]
         print(f"spans: {lines} lines -> {args.spans_out} "
               f"(driver coverage {coverage:.1%})")
+    if result.telemetry is not None:
+        samples = result.telemetry_samples()
+        health_events = sum(
+            1 for row in result.telemetry if row.get("kind") == "health"
+        )
+        destination = (
+            f" -> {args.telemetry_out}" if args.telemetry_out else ""
+        )
+        print(f"telemetry: {len(result.telemetry)} lines{destination} "
+              f"({samples} samples, {health_events} health events)")
     if args.health_out:
         monitor = result.health()
         lines = monitor.write_jsonl(args.health_out)
@@ -855,6 +934,161 @@ def _cmd_spans(args) -> int:
     return 0
 
 
+def _cmd_top(args) -> int:
+    """``repro top``: curses-free live view over a telemetry stream.
+
+    Tails the JSONL file a running ``join --parallel --telemetry-out``
+    is appending to (every row is line-flushed, so tailing sees samples
+    as they land), repainting one plain-text frame per refresh with an
+    ANSI clear on TTYs. Exits when the run writes its final row, when
+    ``--duration`` elapses, or immediately after one frame with
+    ``--once``.
+    """
+    import time as _time
+
+    from repro.obs.timeseries import TelemetryView
+
+    if args.refresh <= 0:
+        print(f"top: --refresh must be > 0, got {args.refresh}",
+              file=sys.stderr)
+        return 2
+    if args.duration is not None and args.duration <= 0:
+        print(f"top: --duration must be > 0, got {args.duration}",
+              file=sys.stderr)
+        return 2
+    try:
+        handle = open(args.input, "r", encoding="utf-8")
+    except OSError as error:
+        print(f"top: {error}", file=sys.stderr)
+        return 2
+
+    view = TelemetryView()
+    pending = ""
+
+    def pump() -> None:
+        """Consume every complete line appended since the last call
+        (a partially written final line stays buffered)."""
+        nonlocal pending
+        chunk = handle.read()
+        if chunk:
+            pending += chunk
+        while "\n" in pending:
+            line, pending = pending.split("\n", 1)
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            view.feed(row)
+
+    started = _time.monotonic()
+    try:
+        with handle:
+            while True:
+                pump()
+                frame = view.render()
+                if args.once:
+                    print(frame)
+                    return 0
+                if sys.stdout.isatty():  # pragma: no cover - interactive only
+                    print(f"\x1b[2J\x1b[H{frame}", flush=True)
+                else:
+                    print(frame, end="\n\n", flush=True)
+                if view.final is not None:
+                    return 0
+                if (
+                    args.duration is not None
+                    and _time.monotonic() - started >= args.duration
+                ):
+                    return 0
+                _time.sleep(args.refresh)
+    except KeyboardInterrupt:
+        # Ctrl-C is the normal way to leave a live monitor, not an error.
+        print()
+        return 0
+
+
+def _cmd_telemetry(args) -> int:
+    """``repro telemetry``: analyze (or smoke-gate) a telemetry file."""
+    from repro.obs.timeseries import (
+        load_telemetry_jsonl,
+        split_telemetry,
+        telemetry_smoke,
+        telemetry_summary,
+        validate_telemetry_lines,
+    )
+
+    try:
+        rows = load_telemetry_jsonl(args.input)
+    except (OSError, ValueError) as error:
+        print(f"telemetry: {error}", file=sys.stderr)
+        return 2
+
+    if args.smoke:
+        failures = telemetry_smoke(rows)
+        if failures:
+            for failure in failures:
+                print(f"telemetry smoke FAIL: {failure}", file=sys.stderr)
+            return 1
+        header, body = split_telemetry(rows)
+        samples = sum(1 for row in body if row.get("kind") == "sample")
+        final = next(row for row in body if row.get("kind") == "final")
+        print(f"telemetry smoke ok: {samples} samples from "
+              f"{header['workers']} workers, interval {header['interval']}s, "
+              f"wall {final['wall_s']:.4f}s, {final['dropped']} dropped")
+        return 0
+
+    errors = validate_telemetry_lines(rows)
+    if errors:
+        for error in errors:
+            print(f"telemetry: {args.input}: {error}", file=sys.stderr)
+        return 2
+
+    summary = telemetry_summary(rows)
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+
+    header, body = split_telemetry(rows)
+    final = summary["final"]
+    print(f"{args.input}: {sum(1 for r in body if r.get('kind') == 'sample')} "
+          f"samples, executor={summary['executor']} "
+          f"workers={header['workers']} interval={summary['interval']}s"
+          + (f" wall={final['wall_s']:.4f}s" if final else " (no final row)"))
+    worker_rows = []
+    for worker, entry in summary["workers"].items():
+        worker_rows.append({
+            "worker": worker,
+            "samples": entry["samples"],
+            "records": entry["records"],
+            "matches": entry["matches"],
+            "busy_s": round(entry["busy_s"], 4),
+            "blocked_s": round(entry["blocked_s"], 4),
+            "postings": entry["live_postings"],
+            "rss_mb": round(entry["rss_bytes"] / (1024 * 1024), 1),
+            "peak_rec_per_s": entry["peak_records_per_s"],
+            "dropped": entry["dropped"],
+        })
+    if worker_rows:
+        print(format_table(worker_rows, title="\nper-worker telemetry "
+                                              "(latest sample + peak rate)"))
+    health = summary["health_events"]
+    if health:
+        flags = ", ".join(
+            f"{count} {severity}" for severity, count in sorted(health.items())
+        )
+        print(f"\nhealth events: {flags}")
+        for row in body:
+            if row.get("kind") == "health":
+                print(f"[{row['severity']:>8}] t={row['time']:.4f}s "
+                      f"{row['detector']}: {row['message']}")
+    else:
+        print("\nhealth events: none")
+    return 0
+
+
 def _cmd_diff(args) -> int:
     try:
         baseline = load_fingerprint(args.baseline)
@@ -918,6 +1152,8 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "trace": _cmd_trace,
     "spans": _cmd_spans,
+    "top": _cmd_top,
+    "telemetry": _cmd_telemetry,
     "diff": _cmd_diff,
     "explain": _cmd_explain,
     "generate": _cmd_generate,

@@ -26,6 +26,11 @@ experiment number is recomputable from its exports:
   multiprocessing runtime (``repro.parallel``): a budgeted-overhead
   recorder, the ``--spans-out`` JSONL artefact, per-phase totals and
   the critical-path / waterfall analysis behind ``repro spans``;
+* :mod:`repro.obs.timeseries` — live in-flight telemetry: the
+  driver-side aggregation of worker heartbeat frames into rolling
+  per-worker series, online health feeding, the ``--telemetry-out``
+  JSONL artefact and the analysis/rendering behind ``repro top`` and
+  ``repro telemetry``;
 * :mod:`repro.obs.observer` — the bundle handed to a cluster run to
   switch any of the above on.
 """
@@ -65,6 +70,16 @@ from repro.obs.spans import (
     write_spans_jsonl,
 )
 from repro.obs.timeline import TimelineRecorder
+from repro.obs.timeseries import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    SAMPLE_SCHEMA,
+    TelemetryRecorder,
+    TelemetryView,
+    load_telemetry_jsonl,
+    telemetry_smoke,
+    telemetry_summary,
+    validate_telemetry_lines,
+)
 from repro.obs.tracing import (
     TRACE_SCHEMA,
     TraceSampler,
@@ -75,6 +90,7 @@ from repro.obs.tracing import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_HEARTBEAT_INTERVAL",
     "Gauge",
     "HealthEvent",
     "HealthMonitor",
@@ -83,8 +99,11 @@ __all__ = [
     "ObsRegistry",
     "PHASES",
     "RunObserver",
+    "SAMPLE_SCHEMA",
     "SPAN_SCHEMA",
     "SpanRecorder",
+    "TelemetryRecorder",
+    "TelemetryView",
     "TimelineRecorder",
     "TraceSampler",
     "TupleTracer",
@@ -98,12 +117,16 @@ __all__ = [
     "load_health_jsonl",
     "load_metrics_json",
     "load_spans_jsonl",
+    "load_telemetry_jsonl",
     "load_trace_jsonl",
     "metrics_to_json",
     "metrics_to_prometheus",
     "phase_totals",
     "smoke_check",
+    "telemetry_smoke",
+    "telemetry_summary",
     "validate_health_lines",
+    "validate_telemetry_lines",
     "validate_span",
     "validate_span_lines",
     "waterfall",

@@ -161,6 +161,9 @@ class HealthMonitor:
         #: Same one-shot leveling for pipe backpressure / starvation.
         self._backpressure_level: Dict[TaskKey, int] = {}
         self._starvation_level: Dict[TaskKey, int] = {}
+        #: One-shot leveling for the *online* load-skew detector
+        #: (component-level: keyed by component, task -1 semantics).
+        self._skew_level: Dict[str, int] = {}
         self._finalized = False
 
     # -- hook points ---------------------------------------------------------
@@ -284,6 +287,45 @@ class HealthMonitor:
                 fraction, self.thresholds.starvation_warning,
                 f"{component}[{task}] spent {fraction:.0%} of its "
                 f"lifetime blocked reading its pipe",
+            )
+
+    def on_busy_snapshot(
+        self, component: str, time: float, busy: List[float]
+    ) -> None:
+        """Telemetry hook: the *online* load-skew detector.
+
+        ``busy`` is the current per-task busy seconds of one component
+        (e.g. every worker's rolling ``busy_s`` from its latest
+        heartbeat). Applies the same max/avg ratio and thresholds as
+        :meth:`finalize`'s end-of-run detector, but with one-shot
+        leveling so a persistent straggler is reported the moment the
+        ratio first crosses each level — mid-run, not post-hoc.
+        """
+        if len(busy) < 2:
+            return
+        average = sum(busy) / len(busy)
+        if average <= 0:
+            return
+        peak = max(busy)
+        ratio = peak / average
+        straggler = busy.index(peak)
+        level = self._skew_level.get(component, 0)
+        if ratio >= self.thresholds.skew_critical and level < 2:
+            self._skew_level[component] = 2
+            self._emit(
+                time, "critical", "load_skew", component, straggler,
+                ratio, self.thresholds.skew_critical,
+                f"{component}[{straggler}] carries {ratio:.2f}x the "
+                f"average busy time of its component: straggler / "
+                f"load skew bounds throughput",
+            )
+        elif ratio >= self.thresholds.skew_warning and level < 1:
+            self._skew_level[component] = 1
+            self._emit(
+                time, "warning", "load_skew", component, straggler,
+                ratio, self.thresholds.skew_warning,
+                f"{component}[{straggler}] carries {ratio:.2f}x the "
+                f"average busy time of its component",
             )
 
     def finalize(self, registry, time: float, join_component: str = "join") -> None:

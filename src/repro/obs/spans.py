@@ -192,6 +192,16 @@ class SpanRecorder:
     def estimated_overhead_s(self) -> float:
         return self._n * self.record_cost_s
 
+    def phase_seconds(self) -> List[float]:
+        """Summed duration per phase id (indexed like :data:`PHASES`).
+
+        One linear pass over the populated columns — cheap enough for a
+        heartbeat emitter to call once per sampling interval."""
+        totals = [0.0] * len(PHASES)
+        for i in range(self._n):
+            totals[self._phases[i]] += self._ends[i] - self._starts[i]
+        return totals
+
 
 def measure_record_cost(calls: int = _CALIBRATION_CALLS) -> float:
     """Mean seconds per :meth:`SpanRecorder.record` call, measured on a

@@ -16,9 +16,11 @@ from repro.parallel.codec import (
     INDEX,
     PROBE,
     MatchRow,
+    decode_heartbeat,
     decode_match_batch,
     decode_record_batch,
     decode_span_frame,
+    encode_heartbeat,
     encode_match_batch,
     encode_record_batch,
     encode_span_frame,
@@ -51,9 +53,11 @@ __all__ = [
     "ShardPlan",
     "ShardWorker",
     "build_shard_engine",
+    "decode_heartbeat",
     "decode_match_batch",
     "decode_record_batch",
     "decode_span_frame",
+    "encode_heartbeat",
     "encode_match_batch",
     "encode_record_batch",
     "encode_span_frame",

@@ -160,7 +160,18 @@ def worker_metrics(result, registry: Optional[ObsRegistry] = None) -> ObsRegistr
         ("worker_bytes_in", "frame bytes received", "bytes_in"),
         ("worker_bytes_out", "match/span frame bytes sent", "bytes_out"),
         ("worker_lifetime_seconds", "seconds from fork to EOF", "lifetime_s"),
-        ("worker_peak_rss_kb", "peak resident set size (KiB)", "peak_rss_kb"),
+        (
+            "worker_peak_rss_bytes",
+            "peak resident set size in bytes (ru_maxrss normalised: "
+            "KiB on Linux, bytes on macOS)",
+            "peak_rss_bytes",
+        ),
+        ("worker_heartbeats", "heartbeat samples emitted", "heartbeats"),
+        (
+            "worker_heartbeats_dropped",
+            "heartbeat samples dropped (non-blocking write would block)",
+            "heartbeats_dropped",
+        ),
     )
     for stats in result.worker_stats:
         labels = {"component": WORKER_COMPONENT, "task": stats["worker"]}

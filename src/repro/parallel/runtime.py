@@ -33,6 +33,7 @@ Three executors:
 
 from __future__ import annotations
 
+import math
 import pickle
 import struct
 import time
@@ -49,13 +50,26 @@ from repro.obs.spans import (
     spans_to_rows,
     write_spans_jsonl,
 )
+from repro.obs.timeseries import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    TelemetryRecorder,
+)
 from repro.parallel.codec import (
     INDEX,
     PROBE,
+    TAG_BATCH,
+    TAG_DONE,
+    TAG_EOF,
+    TAG_ERROR,
+    TAG_HEARTBEAT,
+    TAG_MATCHES,
+    TAG_SPANS,
     MatchRow,
+    decode_heartbeat,
     decode_match_batch,
     decode_record_batch,
     decode_span_frame,
+    encode_heartbeat,
     encode_record_batch,
     encode_span_frame,
 )
@@ -69,15 +83,9 @@ from repro.parallel.merge import (
 )
 from repro.parallel.planner import ShardPlan, plan_shards
 from repro.parallel.worker import (
-    TAG_BATCH,
-    TAG_DONE,
-    TAG_EOF,
-    TAG_ERROR,
-    TAG_MATCHES,
-    TAG_SPANS,
     ShardWorker,
     build_shard_engine,
-    peak_rss_kb,
+    peak_rss_bytes,
     worker_main,
 )
 from repro.records import Record
@@ -134,6 +142,9 @@ class ParallelJoinResult:
     #: Merged driver + worker span dicts, rebased so 0 = run start and
     #: sorted by start time (``None`` unless the run recorded spans).
     span_rows: Optional[List[Dict[str, object]]] = field(default=None, repr=False)
+    #: Full telemetry document (header line first) — ``None`` unless
+    #: the run was started with telemetry enabled.
+    telemetry: Optional[List[Dict[str, object]]] = field(default=None, repr=False)
 
     @property
     def results(self) -> int:
@@ -192,6 +203,23 @@ class ParallelJoinResult:
 
         return phase_totals(self.spans_document())
 
+    # -- telemetry -----------------------------------------------------------
+    def telemetry_document(self) -> List[Dict[str, object]]:
+        """The full telemetry artefact (header line first). Raises
+        unless the run was started with ``telemetry=True``."""
+        if self.telemetry is None:
+            raise ValueError(
+                "this run recorded no telemetry "
+                "(construct ParallelJoinRunner with telemetry=True)"
+            )
+        return list(self.telemetry)
+
+    def telemetry_samples(self) -> int:
+        """Heartbeat samples collected (0 without telemetry)."""
+        if self.telemetry is None:
+            return 0
+        return sum(1 for row in self.telemetry if row.get("kind") == "sample")
+
 
 def _corpus_of(stream, records: Sequence[Record]) -> Sequence[Tuple[int, ...]]:
     corpus = getattr(stream, "corpus", None)
@@ -212,6 +240,15 @@ class ParallelJoinRunner:
     :mod:`repro.obs.spans`); ``spans_sample`` is the deterministic
     batch-index downsampling stride for the high-rate batch-scoped
     phases (1 = record every batch).
+
+    ``telemetry=True`` (implied by ``telemetry_out`` or an explicit
+    ``heartbeat_interval``) switches on the live heartbeat channel
+    (see :mod:`repro.obs.timeseries`): each worker samples its rolling
+    counters every ``heartbeat_interval`` seconds onto a dedicated
+    non-blocking pipe, and the driver aggregates them into a rolling
+    time series with online health detection, optionally appended as
+    JSONL to ``telemetry_out``. Telemetry is monitoring-plane only —
+    every observable stays bit-identical with it on or off.
     """
 
     def __init__(
@@ -224,6 +261,9 @@ class ParallelJoinRunner:
         start_method: Optional[str] = None,
         spans: bool = False,
         spans_sample: int = 1,
+        telemetry: bool = False,
+        telemetry_out: Optional[str] = None,
+        heartbeat_interval: Optional[float] = None,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -237,6 +277,13 @@ class ParallelJoinRunner:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if spans_sample < 1:
             raise ValueError(f"spans_sample must be >= 1, got {spans_sample}")
+        if heartbeat_interval is not None and (
+            not math.isfinite(heartbeat_interval) or heartbeat_interval <= 0
+        ):
+            raise ValueError(
+                f"heartbeat_interval must be a positive finite number of "
+                f"seconds, got {heartbeat_interval}"
+            )
         self.config = config
         self.workers = workers
         self.num_shards = num_shards
@@ -245,6 +292,17 @@ class ParallelJoinRunner:
         self.start_method = start_method
         self.spans = bool(spans)
         self.spans_sample = spans_sample
+        self.telemetry = (
+            bool(telemetry)
+            or telemetry_out is not None
+            or heartbeat_interval is not None
+        )
+        self.telemetry_out = telemetry_out
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else DEFAULT_HEARTBEAT_INTERVAL
+        )
 
     # -- execution -----------------------------------------------------------
     def run(self, stream) -> ParallelJoinResult:
@@ -264,6 +322,19 @@ class ParallelJoinRunner:
         shards = plan.num_shards
         workers = max(1, min(self.workers, shards))
         assignment = [plan.shards_of_worker(w, workers) for w in range(workers)]
+
+        self._telemetry = (
+            TelemetryRecorder(
+                workers=workers,
+                shards=shards,
+                executor=self.executor,
+                interval=self.heartbeat_interval,
+                base=started,
+                out_path=self.telemetry_out,
+            )
+            if self.telemetry
+            else None
+        )
 
         if self.executor == "process":
             chunks, summaries = self._run_process(
@@ -309,60 +380,139 @@ class ParallelJoinRunner:
 
         spans = self._driver_spans
         spans_sample = self.spans_sample if spans is not None else 0
+        telemetry = self._telemetry
+        interval = self.heartbeat_interval
         monotonic = time.monotonic
         ctx = mp.get_context(self.start_method)
         conns = []
         procs = []
+        hb_conns = []
         try:
             for w in range(workers):
                 parent, child = ctx.Pipe(duplex=True)
+                hb_send = None
+                if telemetry is not None:
+                    # Dedicated one-way heartbeat pipe: the monitoring
+                    # plane never shares the result pipe, so the
+                    # deadlock-freedom argument is untouched.
+                    hb_recv, hb_send = ctx.Pipe(duplex=False)
+                    hb_conns.append(hb_recv)
                 proc = ctx.Process(
                     target=worker_main,
                     args=(
                         child, w, self.config, assignment[w],
                         plan.num_shards, spans_sample,
+                        hb_send, interval if telemetry is not None else 0.0,
                     ),
                     daemon=True,
                 )
                 proc.start()
                 child.close()
+                if hb_send is not None:
+                    hb_send.close()
                 conns.append(parent)
                 procs.append(proc)
+            hb_active = list(hb_conns)
             if spans is not None:
                 spans.record(_SETUP, self._run_started, monotonic())
+
+            def pump() -> None:
+                """Drain every buffered heartbeat frame (non-blocking).
+                A closed write end (worker exited) retires its pipe."""
+                for conn in list(hb_active):
+                    while True:
+                        try:
+                            if not conn.poll(0):
+                                break
+                            msg = conn.recv_bytes()
+                        except (EOFError, OSError):
+                            hb_active.remove(conn)
+                            break
+                        if msg and msg[0] == TAG_HEARTBEAT:
+                            telemetry.on_heartbeat(decode_heartbeat(msg))
 
             #: Per-shard batch sequence (the deterministic sampling key
             #: for the driver's encode/pipe_write spans — it mirrors
             #: the worker-side counter by construction: both sides see
             #: each shard's batches in the same order).
             batch_seq: Dict[int, int] = {}
+            track = telemetry is not None
+            tstate = {
+                "records": 0, "batches": 0, "bytes": 0,
+                "encode_s": 0.0, "write_s": 0.0,
+                "feed_t0": 0.0, "next": monotonic() + interval,
+            }
 
             def send(shard: int, items) -> None:
-                if spans is not None:
-                    seq = batch_seq.get(shard, 0)
-                    batch_seq[shard] = seq + 1
-                    if spans.keep(seq):
-                        t0 = monotonic()
-                        payload = encode_record_batch(items)
-                        t1 = monotonic()
-                        spans.record(_ENCODE, t0, t1, shard, seq)
-                        frame = (
-                            bytes([TAG_BATCH]) + _U32.pack(shard) + payload
-                        )
-                        t2 = monotonic()
-                        conns[shard % workers].send_bytes(frame)
-                        spans.record(_PIPE_WRITE, t2, monotonic(), shard, seq)
-                        return
-                conns[shard % workers].send_bytes(
+                if spans is None and not track:
+                    conns[shard % workers].send_bytes(
+                        bytes([TAG_BATCH])
+                        + _U32.pack(shard)
+                        + encode_record_batch(items)
+                    )
+                    return
+                seq = batch_seq.get(shard, 0)
+                batch_seq[shard] = seq + 1
+                keep = spans is not None and spans.keep(seq)
+                if not keep and not track:
+                    conns[shard % workers].send_bytes(
+                        bytes([TAG_BATCH])
+                        + _U32.pack(shard)
+                        + encode_record_batch(items)
+                    )
+                    return
+                t0 = monotonic()
+                frame = (
                     bytes([TAG_BATCH])
                     + _U32.pack(shard)
                     + encode_record_batch(items)
                 )
+                t1 = monotonic()
+                conns[shard % workers].send_bytes(frame)
+                t2 = monotonic()
+                if keep:
+                    spans.record(_ENCODE, t0, t1, shard, seq)
+                    spans.record(_PIPE_WRITE, t1, t2, shard, seq)
+                if track:
+                    tstate["encode_s"] += t1 - t0
+                    tstate["write_s"] += t2 - t1
+                    tstate["batches"] += 1
+                    tstate["records"] += len(items)
+                    tstate["bytes"] += len(frame)
+                    if t2 >= tstate["next"]:
+                        tstate["next"] = t2 + interval
+                        pump()
+                        telemetry.driver_tick(
+                            {
+                                "records_routed": tstate["records"],
+                                "batches_sent": tstate["batches"],
+                                "bytes_out": tstate["bytes"],
+                                "feed_s": t2 - tstate["feed_t0"],
+                                "encode_s": tstate["encode_s"],
+                                "pipe_write_s": tstate["write_s"],
+                            }
+                        )
 
             t_feed = monotonic()
+            tstate["feed_t0"] = t_feed
             self._fanout = self._feed(plan, records, send)
             if spans is not None:
                 spans.record(_FEED, t_feed, monotonic())
+            if track:
+                # Closing driver row: cumulative feed totals, so every
+                # telemetry artefact carries at least one driver tick.
+                t_now = monotonic()
+                pump()
+                telemetry.driver_tick(
+                    {
+                        "records_routed": tstate["records"],
+                        "batches_sent": tstate["batches"],
+                        "bytes_out": tstate["bytes"],
+                        "feed_s": t_now - t_feed,
+                        "encode_s": tstate["encode_s"],
+                        "pipe_write_s": tstate["write_s"],
+                    }
+                )
 
             t_drain = monotonic()
             for conn in conns:
@@ -374,6 +524,11 @@ class ParallelJoinRunner:
                 rows: List[MatchRow] = []
                 while True:
                     try:
+                        if track:
+                            # Keep ingesting live samples while blocked
+                            # on a straggler's results.
+                            while not conn.poll(0.05):
+                                pump()
                         msg = conn.recv_bytes()
                     except EOFError:
                         raise ParallelWorkerError(
@@ -397,11 +552,18 @@ class ParallelJoinRunner:
                 chunks.append(rows)
             for proc in procs:
                 proc.join()
+            if track:
+                # Workers closed their heartbeat ends on exit; drain
+                # whatever is still buffered (the flagged final
+                # samples) through to EOF.
+                pump()
             if spans is not None:
                 spans.record(_DRAIN, t_drain, monotonic())
             return chunks, summaries
         finally:
             for conn in conns:
+                conn.close()
+            for conn in hb_conns:
                 conn.close()
             for proc in procs:
                 if proc.is_alive():
@@ -411,6 +573,8 @@ class ParallelJoinRunner:
     def _run_inline(self, plan, records, workers, assignment):
         spans = self._driver_spans
         spans_sample = self.spans_sample if spans is not None else 0
+        telemetry = self._telemetry
+        interval = self.heartbeat_interval
         monotonic = time.monotonic
         born = monotonic()
         pool = [
@@ -422,6 +586,28 @@ class ParallelJoinRunner:
         ]
         if spans is not None:
             spans.record(_SETUP, self._run_started, monotonic())
+
+        #: Inline heartbeat state: per-worker sample sequence and next
+        #: due time. Samples round-trip through the wire codec so the
+        #: inline differential grid covers the heartbeat frame format
+        #: exactly like it covers the record/span codecs.
+        hb_seq = [0] * workers
+        hb_next = [born + interval] * workers
+
+        def emit_heartbeat(worker: ShardWorker, final: bool = False) -> None:
+            now = monotonic()
+            frame = encode_heartbeat(
+                worker.worker,
+                hb_seq[worker.worker],
+                now - born,
+                now,
+                worker.telemetry_snapshot(),
+                dropped=0,
+                final=final,
+            )
+            hb_seq[worker.worker] += 1
+            hb_next[worker.worker] = now + interval
+            telemetry.on_heartbeat(decode_heartbeat(frame))
 
         batch_seq: Dict[int, int] = {}
 
@@ -450,6 +636,8 @@ class ParallelJoinRunner:
             else:
                 decoded = decode_record_batch(payload)
             worker.process_batch(shard, decoded)
+            if telemetry is not None and monotonic() >= hb_next[worker.worker]:
+                emit_heartbeat(worker)
 
         t_feed = monotonic()
         self._fanout = self._feed(plan, records, send)
@@ -457,7 +645,16 @@ class ParallelJoinRunner:
             spans.record(_FEED, t_feed, monotonic())
         for worker in pool:
             worker.lifetime_s = monotonic() - born
+        if telemetry is not None:
+            # The flagged final sample per worker, mirroring the
+            # process executor's EOF heartbeat.
+            for worker in pool:
+                emit_heartbeat(worker, final=True)
         summaries = [worker.finish() for worker in pool]
+        if telemetry is not None:
+            for w, summary in enumerate(summaries):
+                summary["heartbeats"] = hb_seq[w]
+                summary["heartbeats_dropped"] = 0
         if spans is not None:
             # Round-trip worker spans through the wire frame too, for
             # the same inline-covers-the-codec reason as above.
@@ -488,8 +685,10 @@ class ParallelJoinRunner:
                     "bytes_in": summary.get("bytes_in", 0),
                     "bytes_out": summary.get("bytes_out", 0),
                     "lifetime_s": summary.get("lifetime_s", 0.0),
-                    "peak_rss_kb": summary.get("peak_rss_kb", 0),
+                    "peak_rss_bytes": summary.get("peak_rss_bytes", 0),
                     "span_count": summary.get("span_count", 0),
+                    "heartbeats": summary.get("heartbeats", 0),
+                    "heartbeats_dropped": summary.get("heartbeats_dropped", 0),
                 }
             )
         operations, events, signals = merge_meters(shard_meters)
@@ -505,6 +704,12 @@ class ParallelJoinRunner:
         if spans is not None:
             spans.record(_MERGE, t_merge, time.monotonic())
         wall_s = time.monotonic() - started
+
+        telemetry_doc = None
+        recorder = getattr(self, "_telemetry", None)
+        if recorder is not None:
+            recorder.finalize(wall_s, len(records), len(matches))
+            telemetry_doc = recorder.document()
 
         span_header = span_rows = None
         if spans is not None:
@@ -559,6 +764,7 @@ class ParallelJoinRunner:
             wall_s=wall_s,
             span_header=span_header,
             span_rows=span_rows,
+            telemetry=telemetry_doc,
         )
 
 
@@ -645,7 +851,7 @@ def run_serial(
                 "bytes_in": 0,
                 "bytes_out": 0,
                 "lifetime_s": wall_s,
-                "peak_rss_kb": peak_rss_kb(),
+                "peak_rss_bytes": peak_rss_bytes(),
                 "span_count": 0,
             }
         ],

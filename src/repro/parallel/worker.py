@@ -9,7 +9,8 @@ a shard behaves identically whether it runs inside the simulated
 cluster, inline in the driver, or in a forked process.
 
 Wire protocol (one :func:`multiprocessing.Pipe` per worker, message =
-one ``send_bytes`` frame, first byte = tag):
+one ``send_bytes`` frame, first byte = tag, tags defined in
+:mod:`repro.parallel.codec`):
 
     driver → worker   TAG_BATCH  u32 shard + record batch (codec)
                       TAG_EOF    (empty)
@@ -25,6 +26,16 @@ it sends EOF to every worker it switches to draining, and workers
 blocked writing a large match chunk proceed as soon as their turn is
 read.
 
+Live telemetry rides a *separate* one-way heartbeat pipe per worker
+so the argument above is untouched: :class:`HeartbeatEmitter` writes
+one fixed-size ``TAG_HEARTBEAT`` frame per sampling interval with the
+pipe in non-blocking mode — the frame is far below ``PIPE_BUF``, so
+the write either lands atomically or raises ``BlockingIOError``, in
+which case the sample is dropped (and counted) rather than ever
+blocking the worker on the monitoring plane. A final flagged
+heartbeat is always emitted at EOF, so every finished run carries at
+least one sample per worker at any interval.
+
 Observability: when the driver enables spans (``spans_sample >= 1``),
 the worker times pipe reads (blocked-read wait), batch decode, and —
 for every sampled batch — the probe calls, insert calls and the one
@@ -38,6 +49,7 @@ instrumentation can never change an observable.
 
 from __future__ import annotations
 
+import os
 import pickle
 import struct
 import sys
@@ -54,8 +66,17 @@ from repro.obs.spans import PHASE_ID, SpanRecorder
 from repro.parallel.codec import (
     INDEX,
     PROBE,
+    TAG_BATCH,
+    TAG_DONE,
+    TAG_EOF,
+    TAG_ERROR,
+    TAG_HEARTBEAT,
+    TAG_MATCHES,
+    TAG_SPANS,
+    HEARTBEAT_PHASES,
     MatchRow,
     decode_record_batch,
+    encode_heartbeat,
     encode_match_batch,
     encode_span_frame,
 )
@@ -64,12 +85,12 @@ from repro.routing.prefix_router import token_owner
 from repro.similarity.functions import SimilarityFunction, get_similarity
 from repro.streams.window import SlidingWindow
 
-TAG_BATCH = 0x01
-TAG_EOF = 0x02
-TAG_MATCHES = 0x11
-TAG_DONE = 0x12
-TAG_SPANS = 0x13
-TAG_ERROR = 0x7F
+__all__ = [
+    "TAG_BATCH", "TAG_EOF", "TAG_MATCHES", "TAG_DONE", "TAG_SPANS",
+    "TAG_HEARTBEAT", "TAG_ERROR",
+    "MATCH_CHUNK", "peak_rss_bytes", "build_shard_engine",
+    "ShardWorker", "HeartbeatEmitter", "worker_main",
+]
 
 #: Rows per TAG_MATCHES frame — bounds peak frame size (~40 bytes/row).
 MATCH_CHUNK = 16384
@@ -83,17 +104,19 @@ _INSERT_PHASE = PHASE_ID["insert"]
 _METER_FLUSH = PHASE_ID["meter_flush"]
 
 
-def peak_rss_kb() -> int:
-    """This process's peak resident set size in KiB (0 where the
-    ``resource`` module is unavailable, e.g. Windows)."""
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in **bytes**, normalised
+    across platforms (0 where the ``resource`` module is unavailable,
+    e.g. Windows). ``getrusage`` reports ``ru_maxrss`` in KiB on Linux
+    but bytes on macOS — callers should never have to know that."""
     try:
         import resource
     except ImportError:  # pragma: no cover - POSIX-only dependency
         return 0
-    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    if sys.platform == "darwin":  # pragma: no cover - reported in bytes
-        rss //= 1024
-    return int(rss)
+    rss = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    if sys.platform != "darwin":
+        rss *= 1024
+    return rss
 
 
 def build_shard_engine(
@@ -187,6 +210,33 @@ class ShardWorker:
         #: key (a pure function of the shard plan and batch size, never
         #: of the wall clock or the worker count).
         self._batch_seq: Dict[int, int] = {}
+
+    def telemetry_snapshot(self) -> dict:
+        """Rolling counters for one heartbeat frame — O(shards) plus,
+        when spans are on, one linear pass over the recorded spans for
+        the per-phase split. Pure read: touches no engine or meter
+        state, so sampling can never perturb an observable."""
+        if self.spans is not None:
+            by_id = self.spans.phase_seconds()
+            phase_s = {
+                name: by_id[PHASE_ID[name]] for name in HEARTBEAT_PHASES
+            }
+        else:
+            phase_s = {name: 0.0 for name in HEARTBEAT_PHASES}
+        return {
+            "batches": self.batches,
+            "records": self.records,
+            "matches": len(self.matches),
+            "live_postings": sum(
+                engine.live_postings for engine in self.engines.values()
+            ),
+            "busy_s": self.busy_s,
+            "blocked_s": self.blocked_s,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "rss_bytes": peak_rss_bytes(),
+            "phase_s": phase_s,
+        }
 
     def will_sample(self, shard: int) -> bool:
         """Whether the *next* batch of ``shard`` lands in the sample."""
@@ -311,10 +361,78 @@ class ShardWorker:
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
             "lifetime_s": self.lifetime_s,
-            "peak_rss_kb": peak_rss_kb(),
+            "peak_rss_bytes": peak_rss_bytes(),
             "span_count": len(spans) if spans is not None else 0,
             "span_record_cost_s": spans.record_cost_s if spans is not None else 0.0,
         }
+
+
+class HeartbeatEmitter:
+    """Non-blocking ``TAG_HEARTBEAT`` writer over a dedicated pipe.
+
+    The connection's fd is switched to non-blocking mode at
+    construction; one frame is far below ``PIPE_BUF`` and
+    ``send_bytes`` issues it as a single write, so each emit is atomic
+    — it lands whole or raises ``BlockingIOError``, in which case the
+    sample is dropped and counted. The worker therefore *never* blocks
+    on the monitoring plane, which is what keeps the result-pipe
+    deadlock-freedom argument intact with telemetry enabled.
+
+    ``seq`` increments only on successful sends, so the driver sees a
+    strictly increasing, gap-free sequence per worker; drops surface
+    through the ``dropped`` counter carried in every later frame.
+    """
+
+    def __init__(self, conn, worker: int, interval: float):
+        if interval <= 0:
+            raise ValueError(f"heartbeat interval must be > 0, got {interval}")
+        self.conn = conn
+        self.worker = worker
+        self.interval = interval
+        self.seq = 0
+        self.dropped = 0
+        self._born = time.monotonic()
+        self._next_due = self._born + interval
+        os.set_blocking(conn.fileno(), False)
+
+    def poll_timeout(self) -> float:
+        """Seconds the hosting recv loop may block before a sample is
+        due (0 when one is already overdue)."""
+        return max(0.0, self._next_due - time.monotonic())
+
+    def emit(self, counters: dict, final: bool = False, retries: int = 0) -> bool:
+        """Pack and write one frame; ``retries`` bounds short waits for
+        the final flagged sample (still never an unbounded block)."""
+        now = time.monotonic()
+        frame = encode_heartbeat(
+            self.worker, self.seq, now - self._born, now,
+            counters, dropped=self.dropped, final=final,
+        )
+        for attempt in range(retries + 1):
+            try:
+                self.conn.send_bytes(frame)
+            except (BlockingIOError, InterruptedError):
+                if attempt < retries:
+                    time.sleep(0.001)
+                    continue
+                self.dropped += 1
+                self._next_due = now + self.interval
+                return False
+            except OSError:
+                # Reader vanished — monitoring must not kill the run.
+                self.dropped += 1
+                self._next_due = now + self.interval
+                return False
+            self.seq += 1
+            self._next_due = now + self.interval
+            return True
+        return False
+
+    def maybe_emit(self, worker: "ShardWorker") -> bool:
+        """Emit one sample iff the interval has elapsed."""
+        if time.monotonic() < self._next_due:
+            return False
+        return self.emit(worker.telemetry_snapshot())
 
 
 def worker_main(
@@ -324,18 +442,33 @@ def worker_main(
     shard_ids: Sequence[int],
     num_shards: int,
     spans_sample: int = 0,
+    heartbeat=None,
+    heartbeat_interval: float = 0.0,
 ) -> None:
-    """Child-process entry point (module-level: spawn-context picklable)."""
+    """Child-process entry point (module-level: spawn-context picklable).
+
+    ``heartbeat`` is the optional write end of the worker's dedicated
+    heartbeat pipe; with ``heartbeat_interval > 0`` the recv loop polls
+    the result pipe with a bounded timeout and emits a rolling-counter
+    frame whenever a sample falls due — including while blocked waiting
+    for the driver, which is exactly when live visibility matters.
+    """
     born = time.monotonic()
+    emitter = None
     try:
         worker = ShardWorker(
             config, shard_ids, num_shards,
             spans_sample=spans_sample, worker=worker_id,
         )
+        if heartbeat is not None and heartbeat_interval > 0:
+            emitter = HeartbeatEmitter(heartbeat, worker_id, heartbeat_interval)
         spans = worker.spans
         frames = 0
         while True:
             t_wait = time.monotonic()
+            if emitter is not None:
+                while not conn.poll(emitter.poll_timeout()):
+                    emitter.maybe_emit(worker)
             msg = conn.recv_bytes()
             t_got = time.monotonic()
             worker.blocked_s += t_got - t_wait
@@ -355,9 +488,21 @@ def worker_main(
                 else:
                     items = decode_record_batch(payload)
                 worker.process_batch(shard, items)
+                if emitter is not None:
+                    emitter.maybe_emit(worker)
             elif tag == TAG_EOF:
                 worker.lifetime_s = time.monotonic() - born
+                if emitter is not None:
+                    # The unconditional flagged sample: every finished
+                    # run carries >= 1 heartbeat per worker, whatever
+                    # the interval. Bounded retries, never a block.
+                    emitter.emit(
+                        worker.telemetry_snapshot(), final=True, retries=3
+                    )
                 summary = worker.finish()
+                if emitter is not None:
+                    summary["heartbeats"] = emitter.seq
+                    summary["heartbeats_dropped"] = emitter.dropped
                 rows = worker.matches
                 out_frames = [
                     bytes([TAG_MATCHES])
@@ -389,4 +534,9 @@ def worker_main(
         except Exception:
             pass
     finally:
+        if heartbeat is not None:
+            try:
+                heartbeat.close()
+            except OSError:
+                pass
         conn.close()

@@ -163,6 +163,39 @@ class TestJoinParallel:
                      "--spans-sample", "0"]) == 2
         assert "--spans-sample" in capsys.readouterr().err
 
+    def test_rejects_telemetry_out_without_parallel(self, corpus_file,
+                                                    tmp_path, capsys):
+        assert main(["join", str(corpus_file),
+                     "--telemetry-out", str(tmp_path / "t.jsonl")]) == 2
+        assert "--telemetry-out requires --parallel" in capsys.readouterr().err
+
+    def test_rejects_heartbeat_interval_without_parallel(self, corpus_file,
+                                                         capsys):
+        assert main(["join", str(corpus_file),
+                     "--heartbeat-interval", "0.5"]) == 2
+        assert "--heartbeat-interval requires --parallel" in (
+            capsys.readouterr().err)
+
+    def test_rejects_bad_heartbeat_interval(self, corpus_file, capsys):
+        for bad in ("0", "-1", "nan", "inf"):
+            assert main(["join", str(corpus_file), "--parallel",
+                         "--heartbeat-interval", bad]) == 2
+            assert "--heartbeat-interval" in capsys.readouterr().err
+
+    def test_telemetry_out_writes_artefact(self, corpus_file, tmp_path,
+                                           capsys):
+        from repro.obs.timeseries import (
+            load_telemetry_jsonl, telemetry_smoke)
+
+        path = tmp_path / "run.telemetry.jsonl"
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--workers", "2", "--threshold", "0.7",
+                     "--telemetry-out", str(path),
+                     "--heartbeat-interval", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out and "samples" in out
+        assert telemetry_smoke(load_telemetry_jsonl(str(path))) == []
+
     def test_metrics_out_works_in_parallel_mode(self, corpus_file, tmp_path,
                                                 capsys):
         metrics = tmp_path / "metrics.json"
@@ -252,6 +285,84 @@ class TestSpansCommand:
     def test_rejects_narrow_width(self, capsys):
         assert main(["spans", self.FIXTURE, "--width", "5"]) == 2
         assert "--width" in capsys.readouterr().err
+
+
+class TestTelemetryCommands:
+    @pytest.fixture
+    def telemetry_file(self, tmp_path, capsys):
+        corpus = tmp_path / "c.txt"
+        corpus.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\nomega psi chi rho\n" * 20
+        )
+        path = tmp_path / "run.telemetry.jsonl"
+        assert main(["join", str(corpus), "--parallel", "--workers", "2",
+                     "--threshold", "0.7", "--telemetry-out", str(path),
+                     "--heartbeat-interval", "0.01"]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_smoke_gate_passes(self, telemetry_file, capsys):
+        assert main(["telemetry", str(telemetry_file), "--smoke"]) == 0
+        assert "telemetry smoke ok" in capsys.readouterr().out
+
+    def test_human_digest(self, telemetry_file, capsys):
+        assert main(["telemetry", str(telemetry_file)]) == 0
+        out = capsys.readouterr().out
+        assert "per-worker telemetry" in out
+        assert "health events" in out
+        assert "samples" in out
+
+    def test_json_digest(self, telemetry_file, capsys):
+        assert main(["telemetry", str(telemetry_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["workers"]) == {"0", "1"}
+        assert payload["final"]["kind"] == "final"
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nope.jsonl")]) == 2
+        assert "telemetry:" in capsys.readouterr().err
+
+    def test_corrupt_file_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"kind": "header"\n')
+        assert main(["telemetry", str(bad)]) == 2
+        assert "corrupt telemetry line" in capsys.readouterr().err
+
+    def test_smoke_fails_on_unclosed_file(self, telemetry_file, tmp_path,
+                                          capsys):
+        lines = telemetry_file.read_text().splitlines()
+        truncated = tmp_path / "unclosed.jsonl"
+        truncated.write_text(
+            "\n".join(l for l in lines if '"final"' not in l) + "\n"
+        )
+        assert main(["telemetry", str(truncated), "--smoke"]) == 1
+        assert "telemetry smoke FAIL" in capsys.readouterr().err
+
+    def test_top_once_renders_frame(self, telemetry_file, capsys):
+        assert main(["top", str(telemetry_file), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "repro top" in out
+        assert "worker 0" in out and "worker 1" in out
+        assert "cluster" in out
+        assert "final" in out
+
+    def test_top_follow_stops_at_final_row(self, telemetry_file, capsys):
+        # Non-TTY stdout: plain frames, loop exits on the final row.
+        assert main(["top", str(telemetry_file),
+                     "--refresh", "0.01"]) == 0
+        assert "final" in capsys.readouterr().out
+
+    def test_top_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["top", str(tmp_path / "nope.jsonl"), "--once"]) == 2
+        assert "top:" in capsys.readouterr().err
+
+    def test_top_rejects_bad_refresh_and_duration(self, telemetry_file,
+                                                  capsys):
+        assert main(["top", str(telemetry_file), "--refresh", "0"]) == 2
+        assert "--refresh" in capsys.readouterr().err
+        assert main(["top", str(telemetry_file), "--duration", "-1"]) == 2
+        assert "--duration" in capsys.readouterr().err
 
 
 class TestBench:

@@ -124,6 +124,149 @@ class TestExpirationLag:
         assert monitor.events == []
 
 
+class TestBackpressureBoundaries:
+    """Exact threshold semantics: ``>=`` at 0.25 (warning) / 0.6
+    (critical), one-shot leveling per task."""
+
+    SIGNAL = "pipe_blocked_write_fraction"
+
+    def test_just_below_warning_is_silent(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.2499999)
+        assert monitor.events == []
+
+    def test_exactly_warning_threshold_fires(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.25)
+        (event,) = monitor.events
+        assert (event.severity, event.detector) == (
+            "warning", "pipe_backpressure")
+        assert event.threshold == 0.25
+
+    def test_exactly_critical_threshold_fires(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.6)
+        (event,) = monitor.events
+        assert event.severity == "critical"
+        assert event.threshold == 0.6
+
+    def test_just_below_critical_is_warning(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.5999999)
+        (event,) = monitor.events
+        assert event.severity == "warning"
+
+    def test_one_shot_rearms_across_levels(self):
+        # A warning must not suppress a later critical; each level
+        # fires exactly once per task.
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.3)   # warning
+        monitor.on_signal("driver", 0, 0.2, self.SIGNAL, 0.4)   # suppressed
+        monitor.on_signal("driver", 0, 0.3, self.SIGNAL, 0.7)   # critical
+        monitor.on_signal("driver", 0, 0.4, self.SIGNAL, 0.9)   # suppressed
+        monitor.on_signal("driver", 0, 0.5, self.SIGNAL, 0.3)   # suppressed
+        assert [e.severity for e in monitor.events] == ["warning", "critical"]
+
+    def test_critical_first_suppresses_later_warning(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.8)   # critical
+        monitor.on_signal("driver", 0, 0.2, self.SIGNAL, 0.3)   # suppressed
+        assert [e.severity for e in monitor.events] == ["critical"]
+
+    def test_tasks_level_independently(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("driver", 0, 0.1, self.SIGNAL, 0.3)
+        monitor.on_signal("driver", 1, 0.2, self.SIGNAL, 0.3)
+        assert len(monitor.events) == 2
+
+
+class TestStarvationBoundaries:
+    """Exact threshold semantics: ``>=`` at 0.6 (warning) / 0.9
+    (critical)."""
+
+    SIGNAL = "worker_starved_fraction"
+
+    def test_just_below_warning_is_silent(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("pworker", 0, 0.1, self.SIGNAL, 0.5999999)
+        assert monitor.events == []
+
+    def test_exactly_warning_threshold_fires(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("pworker", 0, 0.1, self.SIGNAL, 0.6)
+        (event,) = monitor.events
+        assert (event.severity, event.detector) == (
+            "warning", "worker_starvation")
+        assert event.threshold == 0.6
+
+    def test_exactly_critical_threshold_fires(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("pworker", 1, 0.1, self.SIGNAL, 0.9)
+        (event,) = monitor.events
+        assert event.severity == "critical"
+        assert event.threshold == 0.9
+        assert event.task == 1
+
+    def test_one_shot_rearms_across_levels(self):
+        monitor = HealthMonitor()
+        monitor.on_signal("pworker", 0, 0.1, self.SIGNAL, 0.65)  # warning
+        monitor.on_signal("pworker", 0, 0.2, self.SIGNAL, 0.7)   # suppressed
+        monitor.on_signal("pworker", 0, 0.3, self.SIGNAL, 0.95)  # critical
+        monitor.on_signal("pworker", 0, 0.4, self.SIGNAL, 0.99)  # suppressed
+        assert [e.severity for e in monitor.events] == ["warning", "critical"]
+
+    def test_custom_thresholds_respected(self):
+        monitor = HealthMonitor(HealthThresholds(
+            starvation_warning=0.1, starvation_critical=0.2))
+        monitor.on_signal("pworker", 0, 0.1, self.SIGNAL, 0.15)
+        assert [e.severity for e in monitor.events] == ["warning"]
+
+
+class TestOnlineLoadSkew:
+    """The telemetry-fed ``on_busy_snapshot`` detector: same thresholds
+    as finalize's end-of-run pass (1.5 warning / 3.0 critical), but
+    one-shot per component so a straggler is flagged mid-run."""
+
+    def test_balanced_snapshot_is_silent(self):
+        monitor = HealthMonitor()
+        monitor.on_busy_snapshot("pworker", 0.5, [1.0, 1.0, 1.0, 1.0])
+        assert monitor.events == []
+
+    def test_single_worker_and_zero_busy_skipped(self):
+        monitor = HealthMonitor()
+        monitor.on_busy_snapshot("pworker", 0.5, [9.0])
+        monitor.on_busy_snapshot("pworker", 0.5, [0.0, 0.0])
+        assert monitor.events == []
+
+    def test_warning_with_straggler_index(self):
+        monitor = HealthMonitor()
+        monitor.on_busy_snapshot("pworker", 0.5, [1.0, 1.0, 1.0, 5.0])
+        (event,) = monitor.events
+        assert (event.severity, event.detector) == ("warning", "load_skew")
+        assert event.task == 3
+        assert event.value == pytest.approx(2.5)
+        assert event.time == 0.5
+
+    def test_escalates_once_per_level(self):
+        monitor = HealthMonitor()
+        monitor.on_busy_snapshot("pworker", 0.1, [1.0, 2.0])           # 1.33
+        monitor.on_busy_snapshot("pworker", 0.2, [1.0, 3.0])           # 1.5: warning
+        monitor.on_busy_snapshot("pworker", 0.3, [1.0, 4.0])           # suppressed
+        monitor.on_busy_snapshot("pworker", 0.4, [0.1, 0.1, 0.1, 10])  # 3.88: critical
+        monitor.on_busy_snapshot("pworker", 0.5, [0.1, 0.1, 0.1, 20])  # suppressed
+        assert [e.severity for e in monitor.events] == ["warning", "critical"]
+
+    def test_online_then_finalize_reports_both(self):
+        # The end-of-run detector has no leveling state shared with the
+        # online one: a skewed run reports once online and once at
+        # finalize (post-hoc, over final busy totals).
+        monitor = HealthMonitor()
+        monitor.on_busy_snapshot("pworker", 0.5, [1.0, 5.0])
+        monitor.finalize(_FakeRegistry({"pworker": [1.0, 5.0]}), 1.0)
+        assert [e.detector for e in monitor.events] == [
+            "load_skew", "load_skew"]
+
+
 class TestLoadSkew:
     def test_warning_and_critical_with_straggler_index(self):
         monitor = HealthMonitor()

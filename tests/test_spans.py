@@ -403,7 +403,8 @@ class TestWorkerMetrics:
             "run_wall_seconds", "run_workers", "worker_busy_seconds",
             "worker_blocked_seconds", "worker_idle_seconds",
             "worker_bytes_in", "worker_bytes_out",
-            "worker_lifetime_seconds", "worker_peak_rss_kb",
+            "worker_lifetime_seconds", "worker_peak_rss_bytes",
+            "worker_heartbeats", "worker_heartbeats_dropped",
         } <= names
         assert dump["metrics"]["run_workers"]["series"][0]["value"] == 2
         per_worker = dump["metrics"]["worker_busy_seconds"]["series"]

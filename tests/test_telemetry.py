@@ -1,0 +1,495 @@
+"""Live telemetry: heartbeat codec, recorder, analysis, differential.
+
+The tentpole contract of the observability PR: heartbeats are
+monitoring-plane only. Every observable — match rows, operation and
+event totals, signal peaks, fingerprints — is bit-identical with
+telemetry off, on, and at any sampling interval, on both executors.
+"""
+
+import json
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.obs.spans import WORKER_PHASES
+from repro.obs.timeseries import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    TELEMETRY_SCHEMA_VERSION,
+    TelemetryRecorder,
+    TelemetryView,
+    load_telemetry_jsonl,
+    rates,
+    sparkline,
+    split_telemetry,
+    telemetry_smoke,
+    telemetry_summary,
+    validate_telemetry_lines,
+    worker_series,
+)
+from repro.parallel import ParallelJoinRunner, run_serial
+from repro.parallel.codec import (
+    HEARTBEAT_FRAME_BYTES,
+    HEARTBEAT_PHASES,
+    TAG_HEARTBEAT,
+    CodecError,
+    decode_heartbeat,
+    encode_heartbeat,
+)
+
+from tests.test_parallel_differential import (
+    assert_equal_observables,
+    fuzz_records,
+    try_process_run,
+)
+
+
+def _counters(**overrides):
+    counters = {
+        "batches": 7,
+        "records": 3500,
+        "matches": 41,
+        "live_postings": 12_000,
+        "busy_s": 1.25,
+        "blocked_s": 0.125,
+        "bytes_in": 65_536,
+        "bytes_out": 4_096,
+        "rss_bytes": 48 * 1024 * 1024,
+        "phase_s": {"probe": 0.8, "insert": 0.3, "pipe_read": 0.125},
+    }
+    counters.update(overrides)
+    return counters
+
+
+class TestHeartbeatCodec:
+    def test_round_trip_every_field(self):
+        frame = encode_heartbeat(
+            worker=3, seq=9, uptime_s=2.5, mono=123.456,
+            counters=_counters(), dropped=2, final=False,
+        )
+        assert len(frame) == HEARTBEAT_FRAME_BYTES
+        assert frame[0] == TAG_HEARTBEAT
+        sample = decode_heartbeat(frame)
+        assert sample["worker"] == 3
+        assert sample["seq"] == 9
+        assert sample["uptime_s"] == 2.5
+        assert sample["mono"] == 123.456
+        assert sample["batches"] == 7
+        assert sample["records"] == 3500
+        assert sample["matches"] == 41
+        assert sample["live_postings"] == 12_000
+        assert sample["busy_s"] == 1.25
+        assert sample["blocked_s"] == 0.125
+        assert sample["bytes_in"] == 65_536
+        assert sample["bytes_out"] == 4_096
+        assert sample["rss_bytes"] == 48 * 1024 * 1024
+        assert sample["dropped"] == 2
+        assert sample["final"] is False
+        assert sample["phase_s"] == {
+            "pipe_read": 0.125, "decode": 0.0, "probe": 0.8,
+            "insert": 0.3, "meter_flush": 0.0,
+        }
+
+    def test_final_flag_round_trips(self):
+        frame = encode_heartbeat(0, 1, 0.1, 0.0, _counters(), final=True)
+        assert decode_heartbeat(frame)["final"] is True
+
+    def test_frame_is_atomic_under_pipe_buf(self):
+        # POSIX guarantees atomicity of pipe writes up to PIPE_BUF
+        # (>= 512); the non-blocking heartbeat channel relies on it.
+        assert HEARTBEAT_FRAME_BYTES < 512
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_heartbeat(0, 1, 0.1, 0.0, _counters())
+        with pytest.raises(CodecError, match="bytes"):
+            decode_heartbeat(frame[:-1])
+
+    def test_wrong_tag_rejected(self):
+        frame = encode_heartbeat(0, 1, 0.1, 0.0, _counters())
+        with pytest.raises(CodecError, match="tag"):
+            decode_heartbeat(bytes([0x7F]) + frame[1:])
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_heartbeat(0, 1, 0.1, 0.0, _counters()))
+        frame[1] ^= 0xFF
+        with pytest.raises(CodecError, match="magic"):
+            decode_heartbeat(bytes(frame))
+
+    def test_unknown_version_rejected(self):
+        frame = bytearray(encode_heartbeat(0, 1, 0.1, 0.0, _counters()))
+        frame[3] = 99  # version byte follows the u16 magic
+        with pytest.raises(CodecError, match="version"):
+            decode_heartbeat(bytes(frame))
+
+    def test_phase_order_matches_span_vocabulary(self):
+        # codec.py keeps no import on repro.obs; this assertion is the
+        # contract that keeps the two phase vocabularies in lockstep.
+        assert HEARTBEAT_PHASES == WORKER_PHASES
+
+
+class TestDifferentialWithTelemetry:
+    """Hard constraint: telemetry must not perturb any observable."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 3])
+    def test_inline_grid_on_off_any_interval(self, workers):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=4201)
+        serial = run_serial(config, records)
+        assert serial.results > 0
+        for interval in (None, 10.0, 0.001):
+            runner = ParallelJoinRunner(
+                config, workers=workers, executor="inline", batch_size=64,
+                telemetry=True, heartbeat_interval=interval,
+            )
+            result = runner.run(records)
+            assert_equal_observables(
+                serial, result,
+                f"inline workers={workers} interval={interval}",
+            )
+            assert result.telemetry is not None
+            # The flagged EOF sample guarantees coverage at any interval.
+            assert result.telemetry_samples() >= workers
+
+    def test_process_on_off_differential(self):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=4202)
+        serial = run_serial(config, records)
+        off = try_process_run(
+            ParallelJoinRunner(config, workers=2, batch_size=64), records
+        )
+        on = try_process_run(
+            ParallelJoinRunner(
+                config, workers=2, batch_size=64,
+                telemetry=True, heartbeat_interval=0.005,
+            ),
+            records,
+        )
+        assert_equal_observables(serial, off, "process telemetry off")
+        assert_equal_observables(serial, on, "process telemetry on")
+        assert off.telemetry is None
+        assert telemetry_smoke(on.telemetry) == []
+
+    def test_telemetry_composes_with_spans(self):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=4203)
+        serial = run_serial(config, records)
+        result = ParallelJoinRunner(
+            config, workers=2, executor="inline", batch_size=64,
+            spans=True, telemetry=True, heartbeat_interval=0.001,
+        ).run(records)
+        assert_equal_observables(serial, result, "inline spans+telemetry")
+        assert result.span_rows
+        # With spans on, samples carry the per-phase decomposition.
+        samples = [r for r in result.telemetry if r.get("kind") == "sample"]
+        assert any(sum(row["phase_s"].values()) > 0 for row in samples)
+
+
+class TestRunnerSurface:
+    def test_invalid_interval_rejected(self):
+        for interval in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="heartbeat_interval"):
+                ParallelJoinRunner(
+                    JoinConfig(), executor="inline",
+                    heartbeat_interval=interval,
+                )
+
+    def test_interval_or_out_path_implies_telemetry(self, tmp_path):
+        runner = ParallelJoinRunner(
+            JoinConfig(), executor="inline", heartbeat_interval=5.0
+        )
+        assert runner.telemetry is True
+        assert runner.heartbeat_interval == 5.0
+        runner = ParallelJoinRunner(
+            JoinConfig(), executor="inline",
+            telemetry_out=str(tmp_path / "t.jsonl"),
+        )
+        assert runner.telemetry is True
+        assert runner.heartbeat_interval == DEFAULT_HEARTBEAT_INTERVAL
+
+    def test_telemetry_accessors(self):
+        records = fuzz_records(seed=4204, n=120)
+        off = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="inline"
+        ).run(records)
+        assert off.telemetry is None
+        with pytest.raises(ValueError, match="telemetry"):
+            off.telemetry_document()
+        on = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="inline",
+            telemetry=True,
+        ).run(records)
+        doc = on.telemetry_document()
+        assert doc[0]["kind"] == "header"
+        assert doc[-1]["kind"] == "final"
+        assert on.telemetry_samples() == sum(
+            1 for row in doc if row.get("kind") == "sample"
+        )
+
+    def test_jsonl_artefact_round_trips(self, tmp_path):
+        path = tmp_path / "run.telemetry.jsonl"
+        records = fuzz_records(seed=4205, n=200)
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="inline",
+            telemetry_out=str(path), heartbeat_interval=0.001,
+        ).run(records)
+        rows = load_telemetry_jsonl(str(path))
+        assert validate_telemetry_lines(rows) == []
+        assert telemetry_smoke(rows) == []
+        # The file is the same document the result carries in memory.
+        assert rows == result.telemetry
+        header, body = split_telemetry(rows)
+        assert header["schema"] == TELEMETRY_SCHEMA_VERSION
+        assert header["workers"] == 2
+        assert body[-1]["kind"] == "final"
+        assert body[-1]["records"] == len(records)
+
+    def test_worker_summary_carries_heartbeat_stats(self):
+        records = fuzz_records(seed=4206, n=120)
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="inline",
+            telemetry=True,
+        ).run(records)
+        for stats in result.worker_stats:
+            assert stats["heartbeats"] >= 1
+            assert stats["heartbeats_dropped"] == 0
+
+
+class TestRecorder:
+    def _sample(self, worker=0, seq=1, **overrides):
+        sample = {
+            "final": False, "worker": worker, "seq": seq,
+            "uptime_s": 1.0, "mono": 0.0, "batches": 2, "records": 100,
+            "matches": 3, "live_postings": 500, "busy_s": 0.5,
+            "blocked_s": 0.1, "bytes_in": 1024, "bytes_out": 256,
+            "rss_bytes": 1 << 20, "dropped": 0,
+            "phase_s": {name: 0.0 for name in HEARTBEAT_PHASES},
+        }
+        sample.update(overrides)
+        return sample
+
+    def _recorder(self, **kwargs):
+        import time
+        defaults = dict(
+            workers=2, shards=8, executor="inline",
+            interval=0.25, base=time.monotonic(),
+        )
+        defaults.update(kwargs)
+        return TelemetryRecorder(**defaults)
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError, match="interval"):
+            self._recorder(interval=0.0)
+
+    def test_sample_rows_timestamped_and_ordered(self):
+        recorder = self._recorder()
+        row = recorder.on_heartbeat(self._sample())
+        assert row["kind"] == "sample"
+        assert row["t"] >= 0.0
+        assert "mono" not in row  # worker clock is dropped on arrival
+        assert recorder.sample_count() == 1
+        recorder.finalize(wall_s=1.0, records=100, results=3)
+        doc = recorder.document()
+        assert [r["kind"] for r in doc] == ["header", "sample", "final"]
+        assert validate_telemetry_lines(doc) == []
+
+    def test_finalize_idempotent(self):
+        recorder = self._recorder()
+        first = recorder.finalize(1.0, 10, 1)
+        second = recorder.finalize(99.0, 99, 99)
+        assert first is second
+        assert sum(1 for r in recorder.rows if r["kind"] == "final") == 1
+
+    def test_driver_tick_feeds_backpressure_online(self):
+        recorder = self._recorder()
+        recorder.driver_tick({
+            "records_routed": 1000, "batches_sent": 4, "bytes_out": 8192,
+            "feed_s": 1.0, "encode_s": 0.1, "pipe_write_s": 0.7,
+        })
+        kinds = [r["kind"] for r in recorder.rows]
+        assert kinds == ["driver", "health"]
+        event = recorder.rows[-1]
+        assert event["detector"] == "pipe_backpressure"
+        assert event["severity"] == "critical"
+
+    def test_starvation_fed_per_sample_with_warmup_guard(self):
+        recorder = self._recorder(interval=0.25)
+        # uptime below 2x interval: warming up, no signal even at 100%.
+        recorder.on_heartbeat(
+            self._sample(seq=1, uptime_s=0.3, blocked_s=0.3))
+        assert not [r for r in recorder.rows if r["kind"] == "health"]
+        recorder.on_heartbeat(
+            self._sample(seq=2, uptime_s=1.0, blocked_s=0.95))
+        events = [r for r in recorder.rows if r["kind"] == "health"]
+        assert [e["detector"] for e in events] == ["worker_starvation"]
+        assert events[0]["severity"] == "critical"
+
+    def test_skew_snapshot_needs_two_samples_per_worker(self):
+        recorder = self._recorder(workers=2)
+        balanced = dict(uptime_s=10.0, blocked_s=0.0)
+        recorder.on_heartbeat(
+            self._sample(worker=0, seq=1, busy_s=0.1, **balanced))
+        recorder.on_heartbeat(
+            self._sample(worker=1, seq=1, busy_s=9.0, **balanced))
+        # One sample each: the snapshot detector must stay quiet.
+        assert not [r for r in recorder.rows if r["kind"] == "health"]
+        recorder.on_heartbeat(
+            self._sample(worker=0, seq=2, busy_s=0.2, **balanced))
+        recorder.on_heartbeat(
+            self._sample(worker=1, seq=2, busy_s=18.0, **balanced))
+        events = [r for r in recorder.rows if r["kind"] == "health"]
+        assert any(e["detector"] == "load_skew" for e in events)
+
+
+class TestValidation:
+    def _document(self):
+        import time
+        recorder = TelemetryRecorder(
+            workers=1, shards=8, executor="inline",
+            interval=0.25, base=time.monotonic(),
+        )
+        sample = TestRecorder()._sample()
+        recorder.on_heartbeat(sample)
+        recorder.on_heartbeat(dict(sample, seq=2, records=200))
+        recorder.finalize(1.0, 200, 3)
+        return recorder.document()
+
+    def test_valid_document_passes(self):
+        assert validate_telemetry_lines(self._document()) == []
+        assert telemetry_smoke(self._document()) == []
+
+    def test_empty_and_headerless_rejected(self):
+        assert validate_telemetry_lines([]) == ["empty telemetry file"]
+        errors = validate_telemetry_lines([{"kind": "sample"}])
+        assert any("not a header" in e for e in errors)
+
+    def test_unsupported_schema_flagged(self):
+        doc = self._document()
+        doc[0] = dict(doc[0], schema=99)
+        assert any(
+            "unsupported telemetry schema" in e
+            for e in validate_telemetry_lines(doc)
+        )
+
+    def test_seq_regression_flagged(self):
+        doc = self._document()
+        doc[2] = dict(doc[2], seq=1)  # second sample repeats seq 1
+        assert any("seq" in e for e in validate_telemetry_lines(doc))
+
+    def test_decreasing_counter_flagged(self):
+        doc = self._document()
+        doc[2] = dict(doc[2], records=50)
+        assert any(
+            "'records' decreased" in e for e in validate_telemetry_lines(doc)
+        )
+
+    def test_final_must_be_last_and_unique(self):
+        doc = self._document()
+        reordered = [doc[0], doc[-1]] + doc[1:-1]
+        assert any(
+            "final row is not last" in e
+            for e in validate_telemetry_lines(reordered)
+        )
+        doubled = doc + [doc[-1]]
+        assert any(
+            "final rows" in e for e in validate_telemetry_lines(doubled)
+        )
+
+    def test_smoke_requires_sample_from_every_worker(self):
+        doc = self._document()
+        doc[0] = dict(doc[0], workers=2)
+        assert any(
+            "no heartbeat sample from worker 1" in f
+            for f in telemetry_smoke(doc)
+        )
+
+    def test_smoke_checks_final_sample_count(self):
+        doc = self._document()
+        doc[-1] = dict(doc[-1], samples=7)
+        assert any("7 samples" in f for f in telemetry_smoke(doc))
+
+    def test_corrupt_jsonl_pointed_error(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"kind": "header"}\n{nope\n')
+        with pytest.raises(ValueError, match=r"t\.jsonl:2: corrupt"):
+            load_telemetry_jsonl(str(path))
+
+
+class TestAnalysis:
+    def _rows(self):
+        base = TestRecorder()._sample()
+        return [
+            dict(base, kind="sample", t=0.1, seq=1, records=100),
+            dict(base, kind="sample", t=0.2, seq=2, records=300),
+            dict(base, kind="sample", t=0.3, seq=3, records=600),
+        ]
+
+    def test_worker_series_and_rates(self):
+        rows = self._rows()
+        series = worker_series(rows)
+        assert list(series) == [0]
+        per_second = rates(series[0], "records")
+        assert per_second == [pytest.approx(2000.0), pytest.approx(3000.0)]
+
+    def test_summary_digest(self):
+        import time
+        recorder = TelemetryRecorder(
+            workers=1, shards=8, executor="inline",
+            interval=0.25, base=time.monotonic() - 1.0,
+        )
+        sample = TestRecorder()._sample()
+        recorder.on_heartbeat(sample)
+        recorder.on_heartbeat(dict(sample, seq=2, records=400, matches=9))
+        recorder.finalize(2.0, 400, 9)
+        summary = telemetry_summary(recorder.document())
+        assert summary["executor"] == "inline"
+        entry = summary["workers"]["0"]
+        assert entry["samples"] == 2
+        assert entry["records"] == 400
+        assert entry["matches"] == 9
+        assert entry["peak_records_per_s"] > 0
+        assert summary["final"]["wall_s"] == 2.0
+
+    def test_sparkline_shapes(self):
+        assert sparkline([]) == " " * 16
+        assert sparkline([0.0, 0.0], width=4) == "  ▁▁"
+        line = sparkline([1, 2, 4, 8], width=4)
+        assert len(line) == 4
+        assert line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=8)) == 8
+
+    def test_view_renders_all_sections(self):
+        view = TelemetryView()
+        assert "waiting for telemetry header" in view.render()
+        view.feed({
+            "kind": "header", "workers": 1, "shards": 8,
+            "executor": "inline", "interval": 0.25,
+        })
+        for row in self._rows():
+            view.feed(row)
+        view.feed({
+            "kind": "health", "severity": "warning",
+            "detector": "load_skew", "time": 0.3, "message": "m",
+        })
+        view.feed({
+            "kind": "final", "wall_s": 0.4, "records": 600,
+            "results": 3, "samples": 3, "dropped": 0,
+        })
+        frame = view.render()
+        assert "worker 0" in frame
+        assert "cluster" in frame
+        assert "load_skew" in frame
+        assert "final" in frame and "samples 3" in frame
+
+    def test_view_history_is_bounded(self):
+        view = TelemetryView(history=4)
+        view.feed({
+            "kind": "header", "workers": 1, "shards": 8,
+            "executor": "inline", "interval": 0.25,
+        })
+        base = TestRecorder()._sample()
+        for seq in range(1, 20):
+            view.feed(dict(
+                base, kind="sample", t=seq * 0.1, seq=seq,
+                records=seq * 100,
+            ))
+        assert len(view.samples[0]) == 4
+        assert len(view._rates[0]) == 4
