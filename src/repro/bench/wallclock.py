@@ -64,6 +64,10 @@ PARALLEL_SPEEDUP_TARGET = 1.6
 #: default sampling interval (fraction over the telemetry-off wall).
 TELEMETRY_OVERHEAD_TARGET = 0.05
 
+#: Maximum acceptable wall-clock overhead of record tracing at the
+#: default sampling stride (fraction over the tracing-off wall).
+TRACE_OVERHEAD_TARGET = 0.05
+
 #: The headline corpus (density-calibrated like ``benchmarks.common``:
 #: the paper's postings-per-token density at laptop-scale record
 #: counts).
@@ -363,6 +367,79 @@ def telemetry_overhead_section(
     }
 
 
+def trace_overhead_section(
+    workers: int = 2,
+    repeats: int = 3,
+    similarity: str = "jaccard",
+    threshold: float = 0.8,
+    seed: int = SEED,
+    scale: float = 1.0,
+    corpus: str = HEADLINE_CORPUS,
+    batch_size: Optional[int] = None,
+) -> Dict[str, object]:
+    """Record-tracing overhead + latency digest (``parallel.latency``).
+
+    Mirrors :func:`telemetry_overhead_section`: the calibrated workload
+    runs through the process executor in interleaved off/on pairs —
+    tracing off, then tracing on at the default
+    :data:`~repro.obs.rectrace.DEFAULT_TRACE_SAMPLE` stride —
+    best-of-``repeats`` each. ``overhead_fraction`` is the relative
+    wall-clock cost of stamping and shipping the trace (``on/off -
+    1``). The traced run also contributes the per-stage p50/p95/p99
+    latency digest (``stages``) — the committed benchmark's record of
+    what a sampled record experiences end to end. ``correctness`` diffs
+    the traced run against :func:`~repro.parallel.runtime.run_serial`
+    ground truth and is folded into :func:`correctness_ok`; the timing
+    target (:data:`TRACE_OVERHEAD_TARGET`) is reported but never gated
+    (shared runners are too noisy).
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    from repro.obs.rectrace import DEFAULT_TRACE_SAMPLE
+
+    base_n, generator, _ = WALLCLOCK_CORPORA[corpus]
+    n = max(100, int(base_n * scale))
+    records = list(generator(n, seed))
+    config = JoinConfig(similarity=similarity, threshold=threshold)
+    if batch_size is not None:
+        config = config.replace(batch_size=batch_size)
+    serial = run_serial(config, records)
+
+    # Interleaved off/on pairs, same drift-cancelling discipline as the
+    # telemetry section.
+    off = on = None
+    for _ in range(repeats):
+        result = ParallelJoinRunner(config, workers=workers).run(records)
+        if off is None or result.wall_s < off.wall_s:
+            off = result
+        result = ParallelJoinRunner(
+            config, workers=workers, trace=True
+        ).run(records)
+        if on is None or result.wall_s < on.wall_s:
+            on = result
+    overhead = on.wall_s / off.wall_s - 1.0 if off.wall_s > 0 else 0.0
+    header = on.trace_header or {}
+    return {
+        "corpus": corpus,
+        "records": n,
+        "workers": workers,
+        "sample": DEFAULT_TRACE_SAMPLE,
+        "wall_off_s": round(off.wall_s, 6),
+        "wall_on_s": round(on.wall_s, 6),
+        "overhead_fraction": round(overhead, 4),
+        "target": TRACE_OVERHEAD_TARGET,
+        "meets_target": overhead <= TRACE_OVERHEAD_TARGET,
+        "traced": header.get("traced", 0),
+        "events": header.get("events", 0),
+        "stages": header.get("stages", {}),
+        "correctness": {
+            "matches_equal": on.matches == serial.matches,
+            "operations_equal": on.operations == serial.operations,
+            "events_equal": on.events == serial.events,
+        },
+    }
+
+
 def wallclock_suite(
     corpora: Optional[List[str]] = None,
     repeats: int = 3,
@@ -389,7 +466,10 @@ def wallclock_suite(
         worker processes and attach it as ``payload["parallel"]
         ["scaling"]`` (see :func:`parallel_scaling_section`), plus the
         heartbeat-telemetry overhead check as ``payload["parallel"]
-        ["telemetry"]`` (see :func:`telemetry_overhead_section`).
+        ["telemetry"]`` (see :func:`telemetry_overhead_section`) and
+        the record-tracing overhead + per-stage latency digest as
+        ``payload["parallel"]["latency"]`` (see
+        :func:`trace_overhead_section`).
     batch_size:
         IPC batch size for the scaling sweep (default:
         ``JoinConfig.batch_size``).
@@ -505,9 +585,22 @@ def wallclock_suite(
                 scale=scale,
                 batch_size=batch_size,
             ),
+            # The overhead sections report a *difference* of two nearby
+            # wall times, so their noise floor is higher than a raw
+            # timing's: give them at least 5 interleaved repeats each
+            # (an extra repeat pair costs ~2 x one 2-worker run).
             "telemetry": telemetry_overhead_section(
                 workers=min(2, workers),
-                repeats=repeats,
+                repeats=max(repeats, 5),
+                similarity=similarity,
+                threshold=threshold,
+                seed=seed,
+                scale=scale,
+                batch_size=batch_size,
+            ),
+            "latency": trace_overhead_section(
+                workers=min(2, workers),
+                repeats=max(repeats, 5),
                 similarity=similarity,
                 threshold=threshold,
                 seed=seed,
@@ -535,7 +628,11 @@ def correctness_ok(payload: Dict[str, object]) -> bool:
     telemetry_ok = (
         all(telemetry["correctness"].values()) if telemetry else True
     )
-    return engines_ok and parallel_ok and telemetry_ok
+    latency = payload.get("parallel", {}).get("latency")
+    latency_ok = (
+        all(latency["correctness"].values()) if latency else True
+    )
+    return engines_ok and parallel_ok and telemetry_ok and latency_ok
 
 
 def render_wallclock(payload: Dict[str, object]) -> str:
@@ -596,6 +693,25 @@ def render_wallclock(payload: Dict[str, object]) -> str:
             f"target <= {telemetry['target']:.0%}: "
             f"{'met' if telemetry['meets_target'] else 'NOT met'})  "
             f"{telemetry['samples']} samples, {telemetry['dropped']} dropped  "
+            f"correctness {'ok' if ok else 'MISMATCH'}"
+        )
+    latency = payload.get("parallel", {}).get("latency")
+    if latency:
+        ok = all(latency["correctness"].values())
+        e2e = latency.get("stages", {}).get("e2e", {})
+        digest = (
+            f"e2e p50 {e2e['p50_s']*1e3:.1f}ms p99 {e2e['p99_s']*1e3:.1f}ms  "
+            if e2e else ""
+        )
+        lines.append(
+            f"  trace overhead: workers={latency['workers']} "
+            f"sample={latency['sample']}  "
+            f"wall {latency['wall_off_s']*1e3:.1f}ms -> "
+            f"{latency['wall_on_s']*1e3:.1f}ms "
+            f"({latency['overhead_fraction']:+.1%}, "
+            f"target <= {latency['target']:.0%}: "
+            f"{'met' if latency['meets_target'] else 'NOT met'})  "
+            f"{latency['traced']} records traced  {digest}"
             f"correctness {'ok' if ok else 'MISMATCH'}"
         )
     return "\n".join(lines)

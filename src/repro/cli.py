@@ -24,14 +24,18 @@ Ten commands cover the workflows a downstream user needs:
     the per-task busy timeline. ``--smoke`` runs a tiny end-to-end
     check that the trace, metrics and health dumps are non-empty,
     schema-valid and consistent with the report — CI's observability
-    gate.
+    gate. Given a record-trace artefact (``join --parallel
+    --trace-out``) instead, analyzes it: per-stage p50/p95/p99
+    latency digest, slowest records, ``--chrome`` Perfetto export,
+    and a ``--smoke`` structural gate.
 ``spans``
     Analyze a wall-clock spans file written by ``join --parallel
     --spans-out``: per-actor phase breakdown, the critical path
-    through the run's driver windows, and an ASCII stage waterfall.
-    ``--smoke`` gates the file instead (parses, expected phases
-    present, phase totals bounded by wall time) — CI's parallel
-    observability gate.
+    through the run's driver windows, and an ASCII stage waterfall;
+    ``--chrome`` exports the same file as a Perfetto-loadable
+    trace-event timeline. ``--smoke`` gates the file instead (parses,
+    expected phases present, phase totals bounded by wall time) —
+    CI's parallel observability gate.
 ``top``
     Live ANSI view of a running (or finished) parallel join: tail a
     ``join --parallel --telemetry-out`` file and repaint per-worker
@@ -167,6 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker telemetry sampling interval in seconds "
                            "(default 0.25); requires --parallel; implies "
                            "live telemetry collection")
+    join.add_argument("--trace-sample", type=int, default=None, metavar="N",
+                      help="trace records whose rid %% N == 0 across the "
+                           "process boundary (deterministic; default 16 "
+                           "when tracing); requires --parallel; with "
+                           "--trace-out writes the record-trace JSONL "
+                           "analyzed by `repro trace FILE`")
     _add_obs_flags(join, default_stride=1)
 
     bench = commands.add_parser("bench", help="compare methods on a synthetic corpus")
@@ -238,7 +248,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--top", type=int, default=5,
                        help="slowest traces to break down")
     trace.add_argument("--smoke", action="store_true",
-                       help="tiny end-to-end run; validate trace+metrics dumps")
+                       help="tiny end-to-end run; validate trace+metrics "
+                            "dumps (on a record-trace file: schema + "
+                            "structure gate, exit 1 on failure)")
+    trace.add_argument("--json", action="store_true",
+                       help="record-trace files only: emit the latency "
+                            "digest and slowest records as JSON")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="record-trace files only: export a Chrome "
+                            "trace-event JSON timeline (load in "
+                            "ui.perfetto.dev)")
     _add_obs_flags(trace, default_stride=1)
 
     spans = commands.add_parser(
@@ -252,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     spans.add_argument("--json", action="store_true",
                        help="print the machine-readable phase_totals and "
                             "critical path only")
+    spans.add_argument("--chrome", default=None, metavar="PATH",
+                       help="export a Chrome trace-event JSON timeline "
+                            "(load in ui.perfetto.dev)")
     spans.add_argument("--width", type=int, default=60,
                        help="waterfall width in time buckets (default 60)")
 
@@ -413,6 +435,17 @@ def _cmd_join(args) -> int:
               "come from the multi-core runtime's worker processes; the "
               "simulated cluster has --health-out)", file=sys.stderr)
         return 2
+    if args.trace_sample is not None:
+        if not args.parallel:
+            print("join: --trace-sample requires --parallel (record traces "
+                  "follow rids across the multi-core runtime's process "
+                  "boundary; the simulated cluster samples with "
+                  "--trace-stride)", file=sys.stderr)
+            return 2
+        if args.trace_sample < 1:
+            print(f"join: --trace-sample must be >= 1, got "
+                  f"{args.trace_sample}", file=sys.stderr)
+            return 2
     if args.heartbeat_interval is not None:
         if not args.parallel:
             print("join: --heartbeat-interval requires --parallel (it sets "
@@ -481,13 +514,14 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
 
     The exit-2 rejections here are the flags that *genuinely* conflict
     with the multi-core driver: ``--bundles`` (the bundle engine needs
-    home-worker probe reuse the sharded driver never sees),
-    ``--dispatchers`` (records are routed by the driver thread) and
-    ``--trace-out`` (per-tuple traces come from simulated topology
-    hops). Everything else composes: ``--metrics-out`` exports the
-    per-worker wall-clock telemetry, ``--spans-out`` the wall-clock
-    span pipeline, and ``--timeline``/``--health-out``/
-    ``--fingerprint-out`` ride on the merged result.
+    home-worker probe reuse the sharded driver never sees) and
+    ``--dispatchers`` (records are routed by the driver thread).
+    Everything else composes: ``--metrics-out`` exports the per-worker
+    wall-clock telemetry, ``--spans-out`` the wall-clock span
+    pipeline, ``--trace-out`` the distributed record-trace artefact
+    (rid-sampled, analyzed by ``repro trace FILE``), and
+    ``--timeline``/``--health-out``/``--fingerprint-out`` ride on the
+    merged result.
     """
     if args.bundles:
         print("join: --parallel does not support --bundles (the bundle "
@@ -498,14 +532,10 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         print("join: --parallel routes records in the driver; "
               "--dispatchers does not apply", file=sys.stderr)
         return 2
-    if args.trace_out:
-        print("join: --trace-out needs the simulated cluster (per-tuple "
-              "traces come from topology hops); --parallel profiles with "
-              "--spans-out, and supports --metrics-out, --timeline, "
-              "--health-out and --fingerprint-out", file=sys.stderr)
-        return 2
+    from repro.obs.rectrace import DEFAULT_TRACE_SAMPLE
     from repro.parallel import ParallelJoinRunner
 
+    trace = args.trace_out is not None or args.trace_sample is not None
     runner = ParallelJoinRunner(
         config,
         workers=args.workers,
@@ -515,6 +545,12 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         or args.heartbeat_interval is not None,
         telemetry_out=args.telemetry_out,
         heartbeat_interval=args.heartbeat_interval,
+        trace=trace,
+        trace_sample=(
+            args.trace_sample
+            if args.trace_sample is not None
+            else DEFAULT_TRACE_SAMPLE
+        ),
     )
     result = runner.run(stream)
     print(format_table([{
@@ -541,6 +577,12 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         coverage = result.phase_totals()["driver_coverage"]
         print(f"spans: {lines} lines -> {args.spans_out} "
               f"(driver coverage {coverage:.1%})")
+    if args.trace_out and result.trace_header is not None:
+        lines = result.write_rectrace(args.trace_out)
+        header = result.trace_header
+        print(f"trace: {lines} lines -> {args.trace_out} "
+              f"({header['traced']} records, {header['events']} events, "
+              f"sample {header['sample']})")
     if result.telemetry is not None:
         samples = result.telemetry_samples()
         health_events = sum(
@@ -672,7 +714,128 @@ def _bench_wallclock(args) -> int:
     return 0
 
 
+def _is_rectrace_artefact(path: str) -> bool:
+    """Whether ``path``'s first non-empty line is a rectrace header.
+
+    Token files can't parse as JSON objects, so the sniff cleanly
+    separates ``repro trace CORPUS`` (simulated-topology tracing) from
+    ``repro trace RECTRACE.jsonl`` (record-trace analysis)."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    return False
+                return (
+                    isinstance(row, dict)
+                    and row.get("kind") == "header"
+                    and row.get("artefact") == "rectrace"
+                )
+    except OSError:
+        return False
+    return False
+
+
+def _trace_rectrace(args) -> int:
+    """``repro trace FILE``: analyze (or smoke-gate) a record-trace
+    artefact written by ``join --parallel --trace-out``."""
+    from repro.obs.chrome import rectrace_to_chrome, write_chrome
+    from repro.obs.rectrace import (
+        latency_digest,
+        load_rectrace_jsonl,
+        rectrace_smoke,
+        slowest_records,
+        split_rectrace,
+        validate_rectrace_lines,
+    )
+
+    try:
+        rows = load_rectrace_jsonl(args.input)
+    except (OSError, ValueError) as error:
+        print(f"trace: {error}", file=sys.stderr)
+        return 2
+
+    if args.smoke:
+        failures = rectrace_smoke(rows)
+        if failures:
+            for failure in failures:
+                print(f"trace smoke FAIL: {failure}", file=sys.stderr)
+            return 1
+    else:
+        errors = validate_rectrace_lines(rows)
+        if errors:
+            for error in errors:
+                print(f"trace: {args.input}: {error}", file=sys.stderr)
+            return 2
+
+    header, events = split_rectrace(rows)
+    if args.chrome:
+        count = write_chrome(args.chrome, rectrace_to_chrome(rows))
+        print(f"chrome: {count} events -> {args.chrome}")
+    if args.smoke:
+        print(f"trace smoke ok: {header['traced']} records, "
+              f"{len(events)} events, executor={header['executor']} "
+              f"workers={header['workers']} sample={header['sample']} "
+              f"wall={header['wall_s']:.4f}s")
+        return 0
+
+    digest = latency_digest(events)
+    slow = slowest_records(events, top=args.top)
+    if args.json:
+        print(json.dumps(
+            {"header": header, "stages": digest, "slowest": slow},
+            indent=1, sort_keys=True,
+        ))
+        return 0
+
+    print(f"{args.input}: {header['traced']} traced records "
+          f"({header['events']} events), executor={header['executor']} "
+          f"workers={header['workers']} shards={header['shards']} "
+          f"sample={header['sample']} wall={header['wall_s']:.4f}s")
+    stage_rows = [
+        {
+            "stage": stage,
+            "count": entry["count"],
+            "mean_ms": round(entry["mean_s"] * 1e3, 4),
+            "p50_ms": round(entry["p50_s"] * 1e3, 4),
+            "p95_ms": round(entry["p95_s"] * 1e3, 4),
+            "p99_ms": round(entry["p99_s"] * 1e3, 4),
+        }
+        for stage, entry in digest.items()
+    ]
+    print(format_table(
+        stage_rows,
+        title="\nper-stage latency (pipe = pipe_write end -> decode "
+              "start; e2e = first stamp -> last stamp)",
+    ))
+    if slow:
+        print(format_table([
+            {
+                "rid": entry["rid"],
+                "e2e_ms": round(entry["e2e_s"] * 1e3, 4),
+                "events": entry["events"],
+                "shards": ",".join(str(s) for s in entry["shards"]) or "-",
+            }
+            for entry in slow
+        ], title=f"\nslowest {len(slow)} records"))
+    return 0
+
+
 def _cmd_trace(args) -> int:
+    if args.input is not None and _is_rectrace_artefact(args.input):
+        return _trace_rectrace(args)
+    if args.chrome:
+        print("trace: --chrome applies to record-trace files (written by "
+              "join --parallel --trace-out)", file=sys.stderr)
+        return 2
+    if args.json:
+        print("trace: --json applies to record-trace files (written by "
+              "join --parallel --trace-out)", file=sys.stderr)
+        return 2
     if args.smoke:
         return _trace_smoke(args)
     if args.input is not None:
@@ -820,6 +983,13 @@ def _trace_smoke(args) -> int:
     return 0
 
 
+def write_chrome_spans(path: str, rows) -> int:
+    """Export a loaded spans artefact as a Chrome trace-event file."""
+    from repro.obs.chrome import spans_to_chrome, write_chrome
+
+    return write_chrome(path, spans_to_chrome(rows))
+
+
 def _cmd_spans(args) -> int:
     """``repro spans``: analyze (or smoke-gate) a wall-clock spans file."""
     from repro.obs.spans import (
@@ -852,6 +1022,9 @@ def _cmd_spans(args) -> int:
             return 1
         header, span_rows = split_rows(rows)
         totals = phase_totals(rows)
+        if args.chrome:
+            count = write_chrome_spans(args.chrome, rows)
+            print(f"chrome: {count} events -> {args.chrome}")
         print(f"spans smoke ok: {len(span_rows)} spans, "
               f"executor={header['executor']} workers={header['workers']} "
               f"wall={header['wall_s']:.4f}s "
@@ -863,6 +1036,10 @@ def _cmd_spans(args) -> int:
         for error in errors:
             print(f"spans: {args.input}: {error}", file=sys.stderr)
         return 2
+
+    if args.chrome:
+        count = write_chrome_spans(args.chrome, rows)
+        print(f"chrome: {count} events -> {args.chrome}")
 
     totals = phase_totals(rows)
     path = critical_path(rows)

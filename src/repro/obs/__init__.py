@@ -31,9 +31,24 @@ experiment number is recomputable from its exports:
   per-worker series, online health feeding, the ``--telemetry-out``
   JSONL artefact and the analysis/rendering behind ``repro top`` and
   ``repro telemetry``;
+* :mod:`repro.obs.rectrace` — distributed per-record tracing for the
+  parallel runtime: deterministic rid-stride sampling, driver/worker
+  event stamping across the process boundary, the ``--trace-out``
+  JSONL artefact, per-stage latency digests and the ``repro trace``
+  smoke gate;
+* :mod:`repro.obs.chrome` — Chrome trace-event export of span and
+  record-trace artefacts (Perfetto-loadable timelines behind the
+  ``--chrome`` flags);
 * :mod:`repro.obs.observer` — the bundle handed to a cluster run to
   switch any of the above on.
 """
+
+from repro.obs.chrome import (
+    rectrace_to_chrome,
+    spans_to_chrome,
+    validate_chrome,
+    write_chrome,
+)
 
 from repro.obs.attribution import attribute_gap, busy_decomposition
 from repro.obs.baseline import (
@@ -56,6 +71,21 @@ from repro.obs.health import (
     validate_health_lines,
 )
 from repro.obs.observer import RunObserver
+from repro.obs.rectrace import (
+    DEFAULT_TRACE_SAMPLE,
+    EVENT_SCHEMA,
+    TRACE_EVENTS,
+    TRACE_STAGES,
+    TraceRecorder,
+    latency_digest,
+    latency_metrics,
+    load_rectrace_jsonl,
+    record_trees,
+    rectrace_smoke,
+    slowest_records,
+    validate_rectrace_lines,
+    write_rectrace_jsonl,
+)
 from repro.obs.registry import Counter, Gauge, Histogram, ObsRegistry
 from repro.obs.spans import (
     PHASES,
@@ -91,6 +121,8 @@ from repro.obs.tracing import (
 __all__ = [
     "Counter",
     "DEFAULT_HEARTBEAT_INTERVAL",
+    "DEFAULT_TRACE_SAMPLE",
+    "EVENT_SCHEMA",
     "Gauge",
     "HealthEvent",
     "HealthMonitor",
@@ -105,32 +137,47 @@ __all__ = [
     "TelemetryRecorder",
     "TelemetryView",
     "TimelineRecorder",
+    "TraceRecorder",
     "TraceSampler",
     "TupleTracer",
+    "TRACE_EVENTS",
     "TRACE_SCHEMA",
+    "TRACE_STAGES",
     "attribute_gap",
     "busy_decomposition",
     "compare_fingerprints",
     "critical_path",
     "fingerprint_from_metrics",
+    "latency_digest",
+    "latency_metrics",
     "load_fingerprint",
     "load_health_jsonl",
     "load_metrics_json",
+    "load_rectrace_jsonl",
     "load_spans_jsonl",
     "load_telemetry_jsonl",
     "load_trace_jsonl",
     "metrics_to_json",
     "metrics_to_prometheus",
     "phase_totals",
+    "record_trees",
+    "rectrace_smoke",
+    "rectrace_to_chrome",
+    "slowest_records",
     "smoke_check",
+    "spans_to_chrome",
     "telemetry_smoke",
     "telemetry_summary",
+    "validate_chrome",
     "validate_health_lines",
+    "validate_rectrace_lines",
     "validate_telemetry_lines",
     "validate_span",
     "validate_span_lines",
     "waterfall",
+    "write_chrome",
     "write_fingerprint",
     "write_metrics",
+    "write_rectrace_jsonl",
     "write_spans_jsonl",
 ]

@@ -1,0 +1,198 @@
+"""Chrome trace-event export: span and record-trace artefacts as
+Perfetto-loadable timelines.
+
+Both JSONL artefact families (:mod:`repro.obs.spans` phase spans,
+:mod:`repro.obs.rectrace` per-record traces) render to the same
+target — the Chrome trace-event JSON format understood by
+``chrome://tracing`` and https://ui.perfetto.dev: a single JSON object
+with a ``traceEvents`` array. We emit only the stable, simple subset:
+
+* ``"X"`` complete events — one per span/trace event, with ``ts``
+  (microseconds since run start) and ``dur`` (microseconds).
+* ``"M"`` metadata events — ``process_name`` / ``thread_name`` so the
+  timeline reads "driver", "worker 0", … instead of bare tids.
+* ``"s"``/``"t"``/``"f"`` flow events (record traces only) — one flow
+  per traced rid, binding its events across the driver and worker
+  tracks so Perfetto draws the record's hop across the process
+  boundary as an arrow.
+
+Actor mapping: everything shares ``pid`` 1 (one logical run); ``tid``
+is ``worker + 1`` so the driver (worker ``-1``) lands on tid 0 and
+worker *w* on tid *w* + 1. Timestamps in the artefacts are seconds
+rebased to run start; trace-event ``ts`` wants microseconds, so the
+conversion is a single multiply.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = [
+    "CHROME_PID",
+    "chrome_document",
+    "rectrace_to_chrome",
+    "spans_to_chrome",
+    "validate_chrome",
+    "write_chrome",
+]
+
+#: The single logical process every track hangs off.
+CHROME_PID = 1
+
+
+def _tid(worker: int) -> int:
+    """Driver (worker ``-1``) → tid 0; worker *w* → tid *w* + 1."""
+    return worker + 1
+
+
+def _us(seconds: float) -> float:
+    """Artefact seconds (rebased to run start) → trace-event µs."""
+    return round(seconds * 1e6, 3)
+
+
+def _metadata(workers: Iterable[int], title: str) -> List[Dict[str, object]]:
+    """``process_name`` + one ``thread_name`` per distinct actor."""
+    events: List[Dict[str, object]] = [
+        {
+            "ph": "M", "name": "process_name", "pid": CHROME_PID, "tid": 0,
+            "ts": 0, "args": {"name": title},
+        }
+    ]
+    for worker in sorted(set(workers)):
+        name = "driver" if worker < 0 else f"worker {worker}"
+        events.append(
+            {
+                "ph": "M", "name": "thread_name", "pid": CHROME_PID,
+                "tid": _tid(worker), "ts": 0, "args": {"name": name},
+            }
+        )
+    return events
+
+
+def chrome_document(events: List[Dict[str, object]]) -> Dict[str, object]:
+    """Wrap a trace-event list in the standard JSON object form."""
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def spans_to_chrome(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Span artefact rows (header first, as loaded) → trace-event JSON.
+
+    One ``"X"`` complete event per span; ``args`` carries the shard and
+    batch indices so they show in the Perfetto detail pane.
+    """
+    header = rows[0] if rows and rows[0].get("kind") == "header" else {}
+    spans = [row for row in rows if row.get("kind") == "span"]
+    events = _metadata(
+        (int(row["worker"]) for row in spans),
+        f"repro spans ({header.get('executor', '?')})",
+    )
+    for row in spans:
+        start = float(row["start"])
+        events.append(
+            {
+                "ph": "X",
+                "name": str(row["phase"]),
+                "cat": "span",
+                "pid": CHROME_PID,
+                "tid": _tid(int(row["worker"])),
+                "ts": _us(start),
+                "dur": _us(float(row["end"]) - start),
+                "args": {"shard": row["shard"], "batch": row["batch"]},
+            }
+        )
+    return chrome_document(events)
+
+
+def rectrace_to_chrome(
+    rows: Sequence[Dict[str, object]], flows: bool = True
+) -> Dict[str, object]:
+    """Record-trace artefact rows (header first) → trace-event JSON.
+
+    One ``"X"`` complete event per trace event, plus (with ``flows``)
+    one flow per traced rid — start (``"s"``) at its first event, step
+    (``"t"``) through the middle ones, finish (``"f"``) at the last —
+    so Perfetto draws the record's path across the driver and worker
+    tracks. Flow ``id`` is the rid itself.
+    """
+    header = rows[0] if rows and rows[0].get("kind") == "header" else {}
+    trace = [row for row in rows if row.get("kind") == "event"]
+    events = _metadata(
+        (int(row["worker"]) for row in trace),
+        f"repro rectrace ({header.get('executor', '?')})",
+    )
+    by_rid: Dict[int, List[Dict[str, object]]] = {}
+    for row in trace:
+        start = float(row["start"])
+        events.append(
+            {
+                "ph": "X",
+                "name": str(row["event"]),
+                "cat": "rectrace",
+                "pid": CHROME_PID,
+                "tid": _tid(int(row["worker"])),
+                "ts": _us(start),
+                "dur": _us(float(row["end"]) - start),
+                "args": {"rid": row["rid"], "shard": row["shard"]},
+            }
+        )
+        by_rid.setdefault(int(row["rid"]), []).append(row)
+    if flows:
+        for rid, group in sorted(by_rid.items()):
+            group.sort(key=lambda r: (float(r["start"]), float(r["end"])))
+            last = len(group) - 1
+            for i, row in enumerate(group):
+                ph = "s" if i == 0 else ("f" if i == last else "t")
+                event = {
+                    "ph": ph,
+                    "name": f"rid {rid}",
+                    "cat": "rectrace-flow",
+                    "id": rid,
+                    "pid": CHROME_PID,
+                    "tid": _tid(int(row["worker"])),
+                    "ts": _us(float(row["start"])),
+                }
+                if ph == "f":
+                    # Bind the finish to the enclosing slice rather
+                    # than the next one (trace-event spec).
+                    event["bp"] = "e"
+                events.append(event)
+    return chrome_document(events)
+
+
+def validate_chrome(payload: Dict[str, object]) -> List[str]:
+    """Pointed structural audit of a trace-event document; returns
+    error strings (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(payload, dict):
+        return [f"chrome payload is {type(payload).__name__}, want object"]
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["chrome payload missing traceEvents array"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        for key in ("ph", "ts", "pid", "tid"):
+            if key not in event:
+                errors.append(f"event {i}: missing {key!r}")
+        ph = event.get("ph")
+        if ph == "X" and "dur" not in event:
+            errors.append(f"event {i}: complete event missing 'dur'")
+        if ph in ("s", "t", "f") and "id" not in event:
+            errors.append(f"event {i}: flow event missing 'id'")
+        ts = event.get("ts")
+        if isinstance(ts, (int, float)) and ts < 0:
+            errors.append(f"event {i}: negative ts {ts}")
+    return errors
+
+
+def write_chrome(path: str, payload: Dict[str, object]) -> int:
+    """Serialize a trace-event document to ``path``; returns #events."""
+    errors = validate_chrome(payload)
+    if errors:
+        raise ValueError(f"refusing to write invalid chrome trace: {errors[0]}")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(payload["traceEvents"])

@@ -1,0 +1,530 @@
+"""Distributed record tracing: follow one record across processes.
+
+Spans (:mod:`repro.obs.spans`) explain where a parallel run's *actors*
+spend wall time; this module explains what a single *record*
+experiences — the feed→encode→pipe→decode→probe→insert→emit path a
+sampled record takes through the multiprocessing runtime, stamped on
+both sides of the process boundary and reassembled by the driver into
+per-record event trees and per-stage latency digests.
+
+Design constraints, mirroring the span pipeline:
+
+* **No trace context crosses the wire.** Sampling is a pure function
+  of the record id — ``rid % sample == 0`` — so driver and workers
+  independently agree on the traced set without a single extra wire
+  byte per batch. The traced-rid set is therefore identical across
+  worker counts, batch sizes and executors, and so is each record's
+  event *structure* (which events hit which shard): events per rid
+  are determined by the shard plan alone (one ``feed``; one
+  ``encode``/``pipe_write``/``decode`` per shard-batch carrying the
+  record; one ``probe``/``insert`` per PROBE/INDEX op; one
+  ``match_emit`` per probe that found matches).
+* **O(1) recording.** :class:`TraceRecorder` is the
+  :class:`~repro.obs.spans.SpanRecorder` idiom over five preallocated
+  typed-array columns (event u8, rid i64, shard i32, start/end f64) —
+  no allocation, no dict, no object per event — shipped post-EOF as
+  one struct-packed ``TAG_TRACE`` frame.
+* **One clock.** All stamps are ``time.monotonic()`` (CLOCK_MONOTONIC
+  system-wide on POSIX, comparable across forked processes); the
+  driver rebases everything to the run start, exactly like spans.
+* **Observables are untouched.** The instrumented batch path issues
+  the identical engine and meter calls in identical order; the
+  differential grid pins match rows, meter totals and fingerprints
+  bit-identical with tracing on or off at any sampling rate.
+
+The artefact (``join --parallel --trace-out``) is JSONL: one header
+line (``artefact: "rectrace"`` — what ``repro trace FILE`` sniffs
+for), then one event object per line. Two *derived* stages join the
+seven recorded events in the latency digest: ``pipe`` (the gap between
+a batch's ``pipe_write`` end and its ``decode`` start — time spent in
+the OS pipe plus the worker's queue) and ``e2e`` (first-stamp to
+last-stamp per record). Digests use
+:class:`~repro.storm.metrics.LatencySampler` reservoirs — exact
+quantiles, no new percentile code.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.storm.metrics import LatencySampler
+
+RECTRACE_SCHEMA_VERSION = 1
+
+#: The artefact discriminator carried in the header line; ``repro
+#: trace FILE`` sniffs for it to tell a rectrace artefact from a token
+#: file.
+RECTRACE_ARTEFACT = "rectrace"
+
+#: Event names in wire-id order (the u8 event column of the trace
+#: frame and the ``event`` field of every JSONL event line). The first
+#: three are stamped by the driver, the rest by workers.
+TRACE_EVENTS = (
+    "feed",
+    "encode",
+    "pipe_write",
+    "decode",
+    "probe",
+    "insert",
+    "match_emit",
+)
+EVENT_ID: Dict[str, int] = {name: i for i, name in enumerate(TRACE_EVENTS)}
+
+DRIVER_EVENTS = TRACE_EVENTS[:3]
+WORKER_EVENTS = TRACE_EVENTS[3:]
+
+#: Stages of the latency digest: every recorded event plus the two
+#: derived stages (``pipe`` = pipe_write→decode gap per shard-batch
+#: hop, ``e2e`` = first stamp → last stamp per record).
+TRACE_STAGES = TRACE_EVENTS + ("pipe", "e2e")
+
+#: Default deterministic sampling stride: trace every record whose rid
+#: is a multiple of 16 (~6% of a dense rid space) — cheap enough to
+#: leave on, dense enough that short runs still trace several records.
+DEFAULT_TRACE_SAMPLE = 16
+
+#: Worker id of driver-stamped events (mirrors ``spans.DRIVER``).
+DRIVER = -1
+
+#: Required fields of an event line and their types (header aside).
+EVENT_SCHEMA: Dict[str, type] = {
+    "kind": str,    # "event"
+    "event": str,   # one of TRACE_EVENTS
+    "rid": int,     # the traced record id
+    "worker": int,  # -1 for the driver
+    "shard": int,   # -1 when the event is not shard-attributed (feed)
+    "start": float, # seconds since run start (monotonic, rebased)
+    "end": float,
+}
+
+#: Calibration burst length for the startup overhead measurement.
+_CALIBRATION_CALLS = 512
+
+
+class TraceRecorder:
+    """Append-only per-record event recorder over preallocated
+    typed-array columns (the :class:`~repro.obs.spans.SpanRecorder`
+    idiom: ``record`` is five slot stores plus an index bump).
+
+    ``sample`` is the deterministic rid stride: :meth:`selected`
+    answers purely from ``rid % sample``, so every actor — driver,
+    process workers, the inline executor — independently derives the
+    identical traced set with zero coordination.
+    """
+
+    __slots__ = (
+        "sample",
+        "capacity",
+        "record_cost_s",
+        "_n",
+        "_events",
+        "_rids",
+        "_shards",
+        "_starts",
+        "_ends",
+    )
+
+    def __init__(self, sample: int = DEFAULT_TRACE_SAMPLE,
+                 capacity: int = 1024, measure: bool = True):
+        if sample < 1:
+            raise ValueError(f"sample must be >= 1, got {sample}")
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sample = sample
+        self.capacity = capacity
+        self._n = 0
+        self._events = array("B", bytes(capacity))
+        self._rids = array("q", bytes(8 * capacity))
+        self._shards = array("i", bytes(4 * capacity))
+        self._starts = array("d", bytes(8 * capacity))
+        self._ends = array("d", bytes(8 * capacity))
+        #: Mean seconds one :meth:`record` call costs on this host,
+        #: measured at startup (0.0 when ``measure=False``).
+        self.record_cost_s = measure_record_cost() if measure else 0.0
+
+    def selected(self, rid: int) -> bool:
+        """Whether ``rid`` is in the traced set — a pure function of
+        the rid, identical on every actor at the same stride."""
+        return rid % self.sample == 0
+
+    def record(
+        self, event: int, rid: int, start: float, end: float, shard: int = -1
+    ) -> None:
+        """Append one event (``event`` is an :data:`EVENT_ID` value)."""
+        n = self._n
+        if n >= self.capacity:
+            self._grow()
+        self._events[n] = event
+        self._rids[n] = rid
+        self._shards[n] = shard
+        self._starts[n] = start
+        self._ends[n] = end
+        self._n = n + 1
+
+    def _grow(self) -> None:
+        extra = self.capacity
+        self._events.extend(bytes(extra))
+        self._rids.extend(array("q", bytes(8 * extra)))
+        self._shards.extend(array("i", bytes(4 * extra)))
+        self._starts.extend(array("d", bytes(8 * extra)))
+        self._ends.extend(array("d", bytes(8 * extra)))
+        self.capacity += extra
+
+    def __len__(self) -> int:
+        return self._n
+
+    def columns(self) -> Tuple[array, array, array, array, array]:
+        """The populated column slices (for the wire frame encoder)."""
+        n = self._n
+        return (
+            self._events[:n],
+            self._rids[:n],
+            self._shards[:n],
+            self._starts[:n],
+            self._ends[:n],
+        )
+
+    def rows(self, base: float = 0.0, worker: int = DRIVER) -> List[Dict[str, object]]:
+        """Recorded events as JSONL-shaped dicts, rebased to ``base``."""
+        return trace_to_rows(*self.columns(), base=base, worker=worker)
+
+    def estimated_overhead_s(self) -> float:
+        return self._n * self.record_cost_s
+
+
+def measure_record_cost(calls: int = _CALIBRATION_CALLS) -> float:
+    """Mean seconds per :meth:`TraceRecorder.record` call, measured on
+    a scratch recorder (same rationale as the span recorder's startup
+    calibration: the header reports ``count x mean cost`` so a reader
+    can subtract the instrument from the measurement)."""
+    scratch = TraceRecorder(sample=1, capacity=calls, measure=False)
+    t0 = time.perf_counter()
+    for i in range(calls):
+        scratch.record(0, i, 0.0, 0.0, i)
+    elapsed = time.perf_counter() - t0
+    return elapsed / calls if calls else 0.0
+
+
+def trace_to_rows(
+    events: Sequence[int],
+    rids: Sequence[int],
+    shards: Sequence[int],
+    starts: Sequence[float],
+    ends: Sequence[float],
+    base: float = 0.0,
+    worker: int = DRIVER,
+) -> List[Dict[str, object]]:
+    """Column arrays (recorder or decoded wire frame) → event dicts."""
+    rows: List[Dict[str, object]] = []
+    for event, rid, shard, start, end in zip(events, rids, shards, starts, ends):
+        rows.append(
+            {
+                "kind": "event",
+                "event": TRACE_EVENTS[event],
+                "rid": rid,
+                "worker": worker,
+                "shard": shard,
+                "start": round(start - base, 9),
+                "end": round(end - base, 9),
+            }
+        )
+    return rows
+
+
+# -- the JSONL artefact ------------------------------------------------------
+
+def write_rectrace_jsonl(
+    path: str, header: Dict[str, object], rows: Iterable[Dict[str, object]]
+) -> int:
+    """Header line + one event object per line; returns #lines."""
+    count = 1
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        for row in rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def load_rectrace_jsonl(path: str) -> List[Dict[str, object]]:
+    """All lines of a rectrace dump as dicts (pointed errors)."""
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{number}: corrupt trace line ({error})"
+                ) from error
+            if not isinstance(row, dict):
+                raise ValueError(f"{path}:{number}: trace line is not an object")
+            rows.append(row)
+    return rows
+
+
+def validate_rectrace_lines(rows: Iterable[Dict[str, object]]) -> List[str]:
+    """Schema errors of a whole rectrace dump (empty list = valid)."""
+    errors: List[str] = []
+    rows = list(rows)
+    if not rows:
+        return ["empty rectrace file"]
+    header = rows[0]
+    if header.get("kind") != "header":
+        errors.append("first line is not a header")
+    else:
+        if header.get("artefact") != RECTRACE_ARTEFACT:
+            errors.append(
+                f"header artefact is {header.get('artefact')!r}, "
+                f"expected {RECTRACE_ARTEFACT!r}"
+            )
+        if header.get("schema") != RECTRACE_SCHEMA_VERSION:
+            errors.append(f"unsupported rectrace schema {header.get('schema')!r}")
+        for key in ("wall_s", "executor", "workers", "shards", "sample",
+                    "records", "traced", "stages"):
+            if key not in header:
+                errors.append(f"header: missing field {key!r}")
+    sample = header.get("sample")
+    for index, row in enumerate(rows[1:]):
+        if row.get("kind") != "event":
+            errors.append(f"line {index + 2}: kind is not 'event'")
+            continue
+        for key, expected in EVENT_SCHEMA.items():
+            if key not in row:
+                errors.append(f"event {index}: missing field {key!r}")
+                continue
+            value = row[key]
+            if expected is float:
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    errors.append(f"event {index}: field {key!r} not numeric")
+            elif expected is int:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    errors.append(f"event {index}: field {key!r} not an int")
+            elif not isinstance(value, expected):
+                errors.append(
+                    f"event {index}: field {key!r} not {expected.__name__}"
+                )
+        event = row.get("event")
+        if isinstance(event, str) and event not in EVENT_ID:
+            errors.append(f"event {index}: unknown event {event!r}")
+        rid = row.get("rid")
+        if (
+            isinstance(rid, int)
+            and isinstance(sample, int)
+            and sample >= 1
+            and rid % sample != 0
+        ):
+            errors.append(
+                f"event {index}: rid {rid} is not a multiple of the "
+                f"header's sample stride {sample}"
+            )
+        start, end = row.get("start"), row.get("end")
+        if (
+            isinstance(start, (int, float))
+            and isinstance(end, (int, float))
+            and end < start
+        ):
+            errors.append(f"event {index}: ends before it starts ({start} > {end})")
+    return errors
+
+
+def split_rectrace(
+    rows: Sequence[Dict[str, object]],
+) -> Tuple[Dict[str, object], List[Dict[str, object]]]:
+    """(header, event rows) of a loaded dump; raises without a header."""
+    if not rows or rows[0].get("kind") != "header":
+        raise ValueError("rectrace dump has no header line")
+    return rows[0], [row for row in rows[1:] if row.get("kind") == "event"]
+
+
+def is_rectrace_document(rows: Sequence[Dict[str, object]]) -> bool:
+    """Whether a loaded JSONL document is a rectrace artefact."""
+    return bool(rows) and (
+        rows[0].get("kind") == "header"
+        and rows[0].get("artefact") == RECTRACE_ARTEFACT
+    )
+
+
+# -- analysis ---------------------------------------------------------------
+
+def record_trees(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[int, List[Dict[str, object]]]:
+    """Per-record event trees: rid → its events in stamp order.
+
+    Accepts either the full document or just event rows; ties on
+    ``start`` break by wire event order, so a record's tree reads in
+    pipeline order (feed, encode, pipe_write, decode, ...)."""
+    trees: Dict[int, List[Dict[str, object]]] = {}
+    for row in rows:
+        if row.get("kind") != "event":
+            continue
+        trees.setdefault(row["rid"], []).append(row)
+    for events in trees.values():
+        events.sort(key=lambda r: (r["start"], EVENT_ID[r["event"]], r["shard"]))
+    return trees
+
+
+def stage_durations(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, List[float]]:
+    """Per-stage duration samples: every recorded event contributes
+    its own width, plus the two derived stages — ``pipe`` (each
+    shard-hop's pipe_write→decode gap, clamped at zero: the stamps
+    come from two processes whose work can overlap by a scheduling
+    quantum) and ``e2e`` (per record, first stamp to last stamp)."""
+    durations: Dict[str, List[float]] = {stage: [] for stage in TRACE_STAGES}
+    #: (rid, shard) → pipe_write end / decode start, for the gap.
+    writes: Dict[Tuple[int, int], List[float]] = {}
+    reads: Dict[Tuple[int, int], List[float]] = {}
+    bounds: Dict[int, Tuple[float, float]] = {}
+    for row in rows:
+        if row.get("kind") != "event":
+            continue
+        event = row["event"]
+        start, end = row["start"], row["end"]
+        durations[event].append(end - start)
+        rid = row["rid"]
+        lo, hi = bounds.get(rid, (start, end))
+        bounds[rid] = (min(lo, start), max(hi, end))
+        key = (rid, row["shard"])
+        if event == "pipe_write":
+            writes.setdefault(key, []).append(end)
+        elif event == "decode":
+            reads.setdefault(key, []).append(start)
+    for key, ends in writes.items():
+        starts = reads.get(key)
+        if not starts:
+            continue
+        # Pair the k-th write of this (rid, shard) with its k-th
+        # decode — both sides see the shard's batches in FIFO order.
+        for sent, received in zip(sorted(ends), sorted(starts)):
+            durations["pipe"].append(max(0.0, received - sent))
+    for lo, hi in bounds.values():
+        durations["e2e"].append(hi - lo)
+    return durations
+
+
+def latency_digest(
+    rows: Sequence[Dict[str, object]], capacity: int = 20000
+) -> Dict[str, Dict[str, object]]:
+    """p50/p95/p99 per-stage digest over
+    :class:`~repro.storm.metrics.LatencySampler` reservoirs (exact
+    quantiles from the simulator's sampler — no new percentile code).
+    Stages with no samples are omitted."""
+    digest: Dict[str, Dict[str, object]] = {}
+    for stage, samples in stage_durations(rows).items():
+        if not samples:
+            continue
+        sampler = LatencySampler(capacity=capacity)
+        for value in samples:
+            sampler.observe(value)
+        digest[stage] = {
+            "count": sampler.count,
+            "mean_s": round(sampler.mean(), 9),
+            "p50_s": round(sampler.quantile(0.50), 9),
+            "p95_s": round(sampler.quantile(0.95), 9),
+            "p99_s": round(sampler.quantile(0.99), 9),
+        }
+    return digest
+
+
+def latency_metrics(rows: Sequence[Dict[str, object]], registry) -> None:
+    """Fold per-stage latencies into ``registry`` as labeled
+    histograms (``rectrace_stage_latency_seconds{stage=...}``), ready
+    for the JSON/Prometheus exporters alongside the per-worker
+    gauges."""
+    for stage, samples in stage_durations(rows).items():
+        if not samples:
+            continue
+        histogram = registry.histogram(
+            "rectrace_stage_latency_seconds",
+            help="per-record stage latency from the record trace",
+            stage=stage,
+        )
+        for value in samples:
+            histogram.observe(value)
+
+
+def rectrace_smoke(rows: Sequence[Dict[str, object]]) -> List[str]:
+    """The ``repro trace FILE --smoke`` gate: schema-valid, at least
+    one traced record, every expected stage present for the run's
+    executor, every stamp inside the run's wall time, and each traced
+    record's tree rooted at a driver ``feed``. Returns failure strings
+    (empty = pass)."""
+    failures = validate_rectrace_lines(rows)
+    if failures:
+        return failures
+    header, events = split_rectrace(rows)
+    wall = float(header.get("wall_s", 0.0))
+    if wall <= 0:
+        failures.append(f"header wall_s is not positive: {wall}")
+        return failures
+    trees = record_trees(events)
+    if not trees:
+        failures.append("no records were traced (sample stride too sparse?)")
+        return failures
+    if header.get("traced") != len(trees):
+        failures.append(
+            f"header says {header.get('traced')} traced records, "
+            f"events cover {len(trees)}"
+        )
+    present = {row["event"] for row in events}
+    expected = {"feed", "encode", "decode", "probe", "insert"}
+    if header.get("executor") == "process":
+        expected |= {"pipe_write"}
+    for event in sorted(expected):
+        if event not in present:
+            failures.append(f"no event covers stage {event!r}")
+    budget = wall * 1.02 + 1e-6
+    for row in events:
+        if row["end"] > budget:
+            failures.append(
+                f"event {row['event']} of rid {row['rid']} ends at "
+                f"{row['end']:.6f}s, past the wall time ({wall:.6f}s)"
+            )
+            break
+    for rid, tree in trees.items():
+        first = tree[0]
+        if first["event"] != "feed" or first["worker"] != DRIVER:
+            failures.append(
+                f"rid {rid}: tree is not rooted at a driver 'feed' "
+                f"(first event is {first['event']!r} on worker "
+                f"{first['worker']})"
+            )
+            break
+    return failures
+
+
+def slowest_records(
+    rows: Sequence[Dict[str, object]], top: int = 5
+) -> List[Dict[str, object]]:
+    """The ``top`` traced records by end-to-end latency, each with a
+    per-stage second breakdown and its shard-hop path."""
+    out: List[Dict[str, object]] = []
+    for rid, tree in record_trees(rows).items():
+        lo = min(row["start"] for row in tree)
+        hi = max(row["end"] for row in tree)
+        stages: Dict[str, float] = {}
+        for row in tree:
+            stages[row["event"]] = (
+                stages.get(row["event"], 0.0) + row["end"] - row["start"]
+            )
+        shards = sorted({row["shard"] for row in tree if row["shard"] >= 0})
+        out.append(
+            {
+                "rid": rid,
+                "e2e_s": round(hi - lo, 9),
+                "events": len(tree),
+                "shards": shards,
+                "stages": {k: round(v, 9) for k, v in sorted(stages.items())},
+            }
+        )
+    out.sort(key=lambda r: (-r["e2e_s"], r["rid"]))
+    return out[:top]

@@ -20,10 +20,12 @@ from repro.parallel.codec import (
     decode_match_batch,
     decode_record_batch,
     decode_span_frame,
+    decode_trace_frame,
     encode_heartbeat,
     encode_match_batch,
     encode_record_batch,
     encode_span_frame,
+    encode_trace_frame,
 )
 from repro.parallel.merge import (
     merge_matches,
@@ -57,10 +59,12 @@ __all__ = [
     "decode_match_batch",
     "decode_record_batch",
     "decode_span_frame",
+    "decode_trace_frame",
     "encode_heartbeat",
     "encode_match_batch",
     "encode_record_batch",
     "encode_span_frame",
+    "encode_trace_frame",
     "merge_matches",
     "merge_meters",
     "parallel_fingerprint",

@@ -37,6 +37,14 @@ end ``f64`` — exactly the :class:`~repro.obs.spans.SpanRecorder`
 storage layout, so encoding is five ``tobytes()`` calls on the live
 recorder arrays and decoding never materialises per-span objects.
 
+Record-trace frames (``TAG_TRACE``) ship a worker's per-record trace
+events back after EOF, mirroring the span frame exactly: a ``<HBBI``
+header (magic ``0x5443`` "TC", version, flags, n_events) followed by
+five flat columns — event ``u8``, rid ``i64``, shard ``i32``, start
+``f64``, end ``f64`` — the
+:class:`~repro.obs.rectrace.TraceRecorder` storage layout, 29 bytes
+per traced event.
+
 Heartbeat frames (``TAG_HEARTBEAT``) are the one *in-flight* message:
 a single fixed-size struct (one packed row of rolling counters, 149
 bytes tag included) a worker writes to its dedicated out-of-band
@@ -74,6 +82,7 @@ TAG_MATCHES = 0x11    # worker → driver: match batch, repeated
 TAG_DONE = 0x12       # worker → driver: pickled summary dict
 TAG_SPANS = 0x13      # worker → driver: span frame, iff spans on
 TAG_HEARTBEAT = 0x14  # worker → driver (heartbeat pipe): live counters
+TAG_TRACE = 0x15      # worker → driver: record-trace frame, iff tracing
 TAG_ERROR = 0x7F      # worker → driver: pickled traceback string
 
 MAGIC = 0x5052  # "PR"
@@ -328,6 +337,67 @@ def decode_span_frame(data: bytes) -> SpanColumns:
     return (
         column("B", 1),
         column("i", 4),
+        column("i", 4),
+        column("d", 8),
+        column("d", 8),
+    )
+
+
+TRACE_MAGIC = 0x5443  # "TC"
+TRACE_VERSION = 1
+
+_TRACE_HEADER = struct.Struct("<HBBI")
+
+#: Bytes per trace-event row (u8 event + i64 rid + i32 shard + 2 f64).
+_TRACE_ROW_BYTES = 1 + 8 + 4 + 8 + 8
+
+TraceColumns = Tuple[array, array, array, array, array]
+
+
+def encode_trace_frame(
+    events: array, rids: array, shards: array, starts: array, ends: array
+) -> bytes:
+    """Pack trace recorder columns (``TraceRecorder.columns()``) into
+    one contiguous buffer."""
+    return b"".join(
+        (
+            _TRACE_HEADER.pack(TRACE_MAGIC, TRACE_VERSION, 0, len(events)),
+            events.tobytes(),
+            rids.tobytes(),
+            shards.tobytes(),
+            starts.tobytes(),
+            ends.tobytes(),
+        )
+    )
+
+
+def decode_trace_frame(data: bytes) -> TraceColumns:
+    """Inverse of :func:`encode_trace_frame` (pointed errors)."""
+    if len(data) < _TRACE_HEADER.size:
+        raise CodecError(f"trace frame truncated: {len(data)} bytes")
+    magic, version, _flags, n = _TRACE_HEADER.unpack_from(data)
+    if magic != TRACE_MAGIC:
+        raise CodecError(f"bad trace-frame magic 0x{magic:04x}")
+    if version != TRACE_VERSION:
+        raise CodecError(f"unsupported trace-frame version {version}")
+    expected = _TRACE_HEADER.size + n * _TRACE_ROW_BYTES
+    if len(data) != expected:
+        raise CodecError(
+            f"trace frame inconsistent: {n} events need {expected} bytes, "
+            f"have {len(data)}"
+        )
+    offset = _TRACE_HEADER.size
+
+    def column(typecode: str, itemsize: int) -> array:
+        nonlocal offset
+        col = array(typecode)
+        col.frombytes(data[offset : offset + itemsize * n])
+        offset += itemsize * n
+        return col
+
+    return (
+        column("B", 1),
+        column("q", 8),
         column("i", 4),
         column("d", 8),
         column("d", 8),

@@ -42,6 +42,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import JoinConfig
 from repro.core.metering import WorkMeter
+from repro.obs.rectrace import (
+    DEFAULT_TRACE_SAMPLE,
+    EVENT_ID,
+    RECTRACE_ARTEFACT,
+    RECTRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    latency_digest,
+    latency_metrics,
+    trace_to_rows,
+    write_rectrace_jsonl,
+)
 from repro.obs.spans import (
     DRIVER,
     PHASE_ID,
@@ -64,14 +75,17 @@ from repro.parallel.codec import (
     TAG_HEARTBEAT,
     TAG_MATCHES,
     TAG_SPANS,
+    TAG_TRACE,
     MatchRow,
     decode_heartbeat,
     decode_match_batch,
     decode_record_batch,
     decode_span_frame,
+    decode_trace_frame,
     encode_heartbeat,
     encode_record_batch,
     encode_span_frame,
+    encode_trace_frame,
 )
 from repro.parallel.merge import (
     merge_matches,
@@ -99,6 +113,11 @@ _PIPE_WRITE = PHASE_ID["pipe_write"]
 _DRAIN = PHASE_ID["drain"]
 _MERGE = PHASE_ID["merge"]
 _DECODE = PHASE_ID["decode"]
+
+_EV_FEED = EVENT_ID["feed"]
+_EV_ENCODE = EVENT_ID["encode"]
+_EV_PIPE_WRITE = EVENT_ID["pipe_write"]
+_EV_DECODE = EVENT_ID["decode"]
 
 EXECUTORS = ("process", "inline")
 
@@ -145,6 +164,13 @@ class ParallelJoinResult:
     #: Full telemetry document (header line first) — ``None`` unless
     #: the run was started with telemetry enabled.
     telemetry: Optional[List[Dict[str, object]]] = field(default=None, repr=False)
+    #: Record-trace artefact header (``None`` unless tracing was on):
+    #: artefact/schema discriminators, run shape, sampling stride,
+    #: traced-record count and the per-stage latency digest.
+    trace_header: Optional[Dict[str, object]] = field(default=None, repr=False)
+    #: Merged driver + worker trace events, rebased so 0 = run start
+    #: (``None`` unless tracing was on).
+    trace_rows: Optional[List[Dict[str, object]]] = field(default=None, repr=False)
 
     @property
     def results(self) -> int:
@@ -177,8 +203,13 @@ class ParallelJoinResult:
 
     def metrics_registry(self):
         """Per-worker wall-clock telemetry as an :class:`ObsRegistry`
-        ready for the JSON/Prometheus exporters."""
-        return worker_metrics(self)
+        ready for the JSON/Prometheus exporters. When the run traced
+        records, the registry also carries per-stage latency
+        reservoirs (``rectrace_stage_latency_seconds``)."""
+        registry = worker_metrics(self)
+        if self.trace_rows is not None:
+            latency_metrics(self.trace_rows, registry)
+        return registry
 
     # -- spans ----------------------------------------------------------------
     def spans_document(self) -> List[Dict[str, object]]:
@@ -220,6 +251,32 @@ class ParallelJoinResult:
             return 0
         return sum(1 for row in self.telemetry if row.get("kind") == "sample")
 
+    # -- record traces --------------------------------------------------------
+    def rectrace_document(self) -> List[Dict[str, object]]:
+        """The full record-trace artefact (header line first). Raises
+        unless the run was started with ``trace=True``."""
+        if self.trace_header is None or self.trace_rows is None:
+            raise ValueError(
+                "this run traced no records "
+                "(construct ParallelJoinRunner with trace=True)"
+            )
+        return [self.trace_header] + list(self.trace_rows)
+
+    def write_rectrace(self, path: str) -> int:
+        """Dump the record-trace artefact to ``path``; returns #lines."""
+        document = self.rectrace_document()
+        return write_rectrace_jsonl(path, document[0], document[1:])
+
+    def latency_digest(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage p50/p95/p99 latency digest of the traced records
+        (raises unless the run was started with ``trace=True``)."""
+        if self.trace_rows is None:
+            raise ValueError(
+                "this run traced no records "
+                "(construct ParallelJoinRunner with trace=True)"
+            )
+        return latency_digest(self.trace_rows)
+
 
 def _corpus_of(stream, records: Sequence[Record]) -> Sequence[Tuple[int, ...]]:
     corpus = getattr(stream, "corpus", None)
@@ -249,6 +306,17 @@ class ParallelJoinRunner:
     time series with online health detection, optionally appended as
     JSONL to ``telemetry_out``. Telemetry is monitoring-plane only —
     every observable stays bit-identical with it on or off.
+
+    ``trace=True`` switches on distributed per-record tracing (see
+    :mod:`repro.obs.rectrace`): records with ``rid % trace_sample ==
+    0`` are followed across the process boundary — the driver stamps
+    feed/encode/pipe-write, the workers stamp
+    decode/probe/insert/match-emit — and the merged, clock-rebased
+    event rows land on the result (``trace_rows`` /
+    ``rectrace_document()`` / ``latency_digest()``). The traced rid
+    set is a pure function of rid, so it is identical across worker
+    counts, batch sizes and executors; like spans and telemetry,
+    tracing never changes an observable.
     """
 
     def __init__(
@@ -264,6 +332,8 @@ class ParallelJoinRunner:
         telemetry: bool = False,
         telemetry_out: Optional[str] = None,
         heartbeat_interval: Optional[float] = None,
+        trace: bool = False,
+        trace_sample: int = DEFAULT_TRACE_SAMPLE,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -277,6 +347,8 @@ class ParallelJoinRunner:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         if spans_sample < 1:
             raise ValueError(f"spans_sample must be >= 1, got {spans_sample}")
+        if trace_sample < 1:
+            raise ValueError(f"trace_sample must be >= 1, got {trace_sample}")
         if heartbeat_interval is not None and (
             not math.isfinite(heartbeat_interval) or heartbeat_interval <= 0
         ):
@@ -303,6 +375,8 @@ class ParallelJoinRunner:
             if heartbeat_interval is not None
             else DEFAULT_HEARTBEAT_INTERVAL
         )
+        self.trace = bool(trace)
+        self.trace_sample = trace_sample
 
     # -- execution -----------------------------------------------------------
     def run(self, stream) -> ParallelJoinResult:
@@ -315,6 +389,11 @@ class ParallelJoinRunner:
         )
         #: worker id → decoded span columns, filled while draining.
         self._worker_span_cols: Dict[int, tuple] = {}
+        self._driver_trace = (
+            TraceRecorder(sample=self.trace_sample) if self.trace else None
+        )
+        #: worker id → decoded trace columns, filled while draining.
+        self._worker_trace_cols: Dict[int, tuple] = {}
         records = list(stream)
         plan = plan_shards(
             self.config, _corpus_of(stream, records), self.num_shards
@@ -352,11 +431,22 @@ class ParallelJoinRunner:
         ships one full batch. Returns the driver's fanout stats."""
         shards = plan.num_shards
         batch_size = self.batch_size
+        tracer = self._driver_trace
+        stride = tracer.sample if tracer is not None else 0
+        monotonic = time.monotonic
         buffers: List[List[Tuple[int, Record]]] = [[] for _ in range(shards)]
         fanout_total = 0.0
         fanout_peak = 0.0
         count = 0
         for record in records:
+            # The feed event covers the record's routing and buffer
+            # appends — including any batch flush it triggers, which is
+            # latency the record genuinely experiences at the driver.
+            # The stride check is inlined (vs tracer.selected) so an
+            # untraced record pays one modulo, not a method call.
+            traced = bool(stride) and not record.rid % stride
+            if traced:
+                t_rec = monotonic()
             tasks = plan.tasks(record)
             fraction = len(tasks) / shards
             fanout_total += fraction
@@ -369,6 +459,8 @@ class ParallelJoinRunner:
                 if len(buffer) >= batch_size:
                     send(shard, buffer)
                     buffer.clear()
+            if traced:
+                tracer.record(_EV_FEED, record.rid, t_rec, monotonic())
         for shard, buffer in enumerate(buffers):
             if buffer:
                 send(shard, buffer)
@@ -380,6 +472,8 @@ class ParallelJoinRunner:
 
         spans = self._driver_spans
         spans_sample = self.spans_sample if spans is not None else 0
+        tracer = self._driver_trace
+        trace_sample = self.trace_sample if tracer is not None else 0
         telemetry = self._telemetry
         interval = self.heartbeat_interval
         monotonic = time.monotonic
@@ -403,6 +497,7 @@ class ParallelJoinRunner:
                         child, w, self.config, assignment[w],
                         plan.num_shards, spans_sample,
                         hb_send, interval if telemetry is not None else 0.0,
+                        trace_sample,
                     ),
                     daemon=True,
                 )
@@ -437,6 +532,7 @@ class ParallelJoinRunner:
             #: each shard's batches in the same order).
             batch_seq: Dict[int, int] = {}
             track = telemetry is not None
+            stride = tracer.sample if tracer is not None else 0
             tstate = {
                 "records": 0, "batches": 0, "bytes": 0,
                 "encode_s": 0.0, "write_s": 0.0,
@@ -444,7 +540,7 @@ class ParallelJoinRunner:
             }
 
             def send(shard: int, items) -> None:
-                if spans is None and not track:
+                if spans is None and not track and tracer is None:
                     conns[shard % workers].send_bytes(
                         bytes([TAG_BATCH])
                         + _U32.pack(shard)
@@ -454,7 +550,12 @@ class ParallelJoinRunner:
                 seq = batch_seq.get(shard, 0)
                 batch_seq[shard] = seq + 1
                 keep = spans is not None and spans.keep(seq)
-                if not keep and not track:
+                traced_rids = (
+                    [r.rid for _op, r in items if not r.rid % stride]
+                    if stride
+                    else None
+                )
+                if not keep and not track and not traced_rids:
                     conns[shard % workers].send_bytes(
                         bytes([TAG_BATCH])
                         + _U32.pack(shard)
@@ -473,6 +574,12 @@ class ParallelJoinRunner:
                 if keep:
                     spans.record(_ENCODE, t0, t1, shard, seq)
                     spans.record(_PIPE_WRITE, t1, t2, shard, seq)
+                if traced_rids:
+                    # Every traced record in the batch inherits the
+                    # batch's encode and pipe-write windows.
+                    for rid in traced_rids:
+                        tracer.record(_EV_ENCODE, rid, t0, t1, shard)
+                        tracer.record(_EV_PIPE_WRITE, rid, t1, t2, shard)
                 if track:
                     tstate["encode_s"] += t1 - t0
                     tstate["write_s"] += t2 - t1
@@ -540,6 +647,8 @@ class ParallelJoinRunner:
                         rows.extend(decode_match_batch(msg[1:]))
                     elif tag == TAG_SPANS:
                         self._worker_span_cols[w] = decode_span_frame(msg[1:])
+                    elif tag == TAG_TRACE:
+                        self._worker_trace_cols[w] = decode_trace_frame(msg[1:])
                     elif tag == TAG_DONE:
                         summaries.append(pickle.loads(msg[1:]))
                         break
@@ -573,6 +682,8 @@ class ParallelJoinRunner:
     def _run_inline(self, plan, records, workers, assignment):
         spans = self._driver_spans
         spans_sample = self.spans_sample if spans is not None else 0
+        tracer = self._driver_trace
+        trace_sample = self.trace_sample if tracer is not None else 0
         telemetry = self._telemetry
         interval = self.heartbeat_interval
         monotonic = time.monotonic
@@ -581,6 +692,7 @@ class ParallelJoinRunner:
             ShardWorker(
                 self.config, assignment[w], plan.num_shards,
                 spans_sample=spans_sample, worker=w,
+                trace_sample=trace_sample,
             )
             for w in range(workers)
         ]
@@ -616,23 +728,43 @@ class ParallelJoinRunner:
             # exact wire path (and records arrive re-materialized, as
             # they would from a pipe).
             worker = pool[shard % workers]
+            traced_rids = (
+                [r.rid for _op, r in items if not r.rid % trace_sample]
+                if tracer is not None
+                else None
+            )
+            keep = False
             if spans is not None:
                 seq = batch_seq.get(shard, 0)
                 batch_seq[shard] = seq + 1
-                if spans.keep(seq):
-                    t0 = monotonic()
-                    payload = encode_record_batch(items)
-                    spans.record(_ENCODE, t0, monotonic(), shard, seq)
-                else:
-                    payload = encode_record_batch(items)
+                keep = spans.keep(seq)
+            if keep or traced_rids:
+                t0 = monotonic()
+                payload = encode_record_batch(items)
+                t1 = monotonic()
+                if keep:
+                    spans.record(_ENCODE, t0, t1, shard, seq)
+                if traced_rids:
+                    for rid in traced_rids:
+                        tracer.record(_EV_ENCODE, rid, t0, t1, shard)
             else:
                 payload = encode_record_batch(items)
             worker.bytes_in += len(payload)
-            if worker.will_sample(shard):
+            span_decode = worker.will_sample(shard)
+            if span_decode or traced_rids:
                 wseq = worker._batch_seq.get(shard, 0)
                 t0 = monotonic()
                 decoded = decode_record_batch(payload)
-                worker.spans.record(_DECODE, t0, monotonic(), shard, wseq)
+                t1 = monotonic()
+                if span_decode:
+                    worker.spans.record(_DECODE, t0, t1, shard, wseq)
+                if traced_rids:
+                    # Stamped into the *worker's* recorder, mirroring
+                    # worker_main (no pipe-write event inline — there
+                    # is no pipe).
+                    wtracer = worker.tracer
+                    for rid in traced_rids:
+                        wtracer.record(_EV_DECODE, rid, t0, t1, shard)
             else:
                 decoded = decode_record_batch(payload)
             worker.process_batch(shard, decoded)
@@ -661,6 +793,13 @@ class ParallelJoinRunner:
             for w, worker in enumerate(pool):
                 self._worker_span_cols[w] = decode_span_frame(
                     encode_span_frame(*worker.spans.columns())
+                )
+        if tracer is not None:
+            # Same round-trip for the trace columns: the inline
+            # differential grid covers the TAG_TRACE frame format.
+            for w, worker in enumerate(pool):
+                self._worker_trace_cols[w] = decode_trace_frame(
+                    encode_trace_frame(*worker.tracer.columns())
                 )
         return [worker.matches for worker in pool], summaries
 
@@ -746,6 +885,40 @@ class ParallelJoinRunner:
                     "workers": overhead_workers,
                 },
             }
+
+        trace_header = trace_rows = None
+        tracer = getattr(self, "_driver_trace", None)
+        if tracer is not None:
+            # Driver and worker stamps share one comparable monotonic
+            # clock (workers are forked/spawned from this process on
+            # the same host), so rebasing every column to run start is
+            # the whole clock alignment story — see DESIGN §13.
+            trace_rows = tracer.rows(base=started, worker=DRIVER)
+            for w in range(workers):
+                cols = self._worker_trace_cols.get(w)
+                if cols is not None:
+                    trace_rows.extend(
+                        trace_to_rows(*cols, base=started, worker=w)
+                    )
+            trace_rows.sort(
+                key=lambda r: (r["rid"], r["start"], r["end"], r["worker"])
+            )
+            traced = {row["rid"] for row in trace_rows}
+            trace_header = {
+                "kind": "header",
+                "artefact": RECTRACE_ARTEFACT,
+                "schema": RECTRACE_SCHEMA_VERSION,
+                "wall_s": round(wall_s, 9),
+                "executor": self.executor,
+                "workers": workers,
+                "shards": plan.num_shards,
+                "batch_size": self.batch_size,
+                "records": len(records),
+                "sample": self.trace_sample,
+                "traced": len(traced),
+                "events": len(trace_rows),
+                "stages": latency_digest(trace_rows),
+            }
         return ParallelJoinResult(
             config=self.config,
             num_shards=plan.num_shards,
@@ -765,6 +938,8 @@ class ParallelJoinRunner:
             span_header=span_header,
             span_rows=span_rows,
             telemetry=telemetry_doc,
+            trace_header=trace_header,
+            trace_rows=trace_rows,
         )
 
 

@@ -16,6 +16,7 @@ one ``send_bytes`` frame, first byte = tag, tags defined in
                       TAG_EOF    (empty)
     worker → driver   TAG_MATCHES  match batch (codec), repeated
                       TAG_SPANS    span frame (codec), iff spans on
+                      TAG_TRACE    record-trace frame (codec), iff tracing
                       TAG_DONE     pickled summary dict
                       TAG_ERROR    pickled traceback string
 
@@ -40,11 +41,16 @@ Observability: when the driver enables spans (``spans_sample >= 1``),
 the worker times pipe reads (blocked-read wait), batch decode, and —
 for every sampled batch — the probe calls, insert calls and the one
 meter flush, into a :class:`~repro.obs.spans.SpanRecorder` shipped
-back as a ``TAG_SPANS`` frame. Independent of spans, every worker
-always tracks cheap per-run telemetry (blocked/busy seconds, bytes
-in/out, peak RSS) reported in the ``TAG_DONE`` summary; the timed and
-untimed batch paths issue the identical engine and meter calls, so
-instrumentation can never change an observable.
+back as a ``TAG_SPANS`` frame. With record tracing on
+(``trace_sample >= 1``), the worker independently re-derives the
+traced rid set (``rid % trace_sample == 0`` — no trace context is ever
+sent on the wire) and stamps per-record decode/probe/insert/match-emit
+events into a :class:`~repro.obs.rectrace.TraceRecorder`, shipped
+post-EOF as one ``TAG_TRACE`` frame. Independent of spans, every
+worker always tracks cheap per-run telemetry (blocked/busy seconds,
+bytes in/out, peak RSS) reported in the ``TAG_DONE`` summary; the
+timed and untimed batch paths issue the identical engine and meter
+calls, so instrumentation can never change an observable.
 """
 
 from __future__ import annotations
@@ -62,6 +68,7 @@ from repro.core.dedup import PrefixDedupFilter
 from repro.core.local_join import StreamingSetJoin
 from repro.core.metering import WorkMeter
 from repro.core.two_stream import cross_source_filter
+from repro.obs.rectrace import EVENT_ID, TraceRecorder
 from repro.obs.spans import PHASE_ID, SpanRecorder
 from repro.parallel.codec import (
     INDEX,
@@ -73,12 +80,14 @@ from repro.parallel.codec import (
     TAG_HEARTBEAT,
     TAG_MATCHES,
     TAG_SPANS,
+    TAG_TRACE,
     HEARTBEAT_PHASES,
     MatchRow,
     decode_record_batch,
     encode_heartbeat,
     encode_match_batch,
     encode_span_frame,
+    encode_trace_frame,
 )
 from repro.records import Record
 from repro.routing.prefix_router import token_owner
@@ -87,7 +96,7 @@ from repro.streams.window import SlidingWindow
 
 __all__ = [
     "TAG_BATCH", "TAG_EOF", "TAG_MATCHES", "TAG_DONE", "TAG_SPANS",
-    "TAG_HEARTBEAT", "TAG_ERROR",
+    "TAG_HEARTBEAT", "TAG_TRACE", "TAG_ERROR",
     "MATCH_CHUNK", "peak_rss_bytes", "build_shard_engine",
     "ShardWorker", "HeartbeatEmitter", "worker_main",
 ]
@@ -102,6 +111,11 @@ _DECODE = PHASE_ID["decode"]
 _PROBE_PHASE = PHASE_ID["probe"]
 _INSERT_PHASE = PHASE_ID["insert"]
 _METER_FLUSH = PHASE_ID["meter_flush"]
+
+_EV_DECODE = EVENT_ID["decode"]
+_EV_PROBE = EVENT_ID["probe"]
+_EV_INSERT = EVENT_ID["insert"]
+_EV_MATCH_EMIT = EVENT_ID["match_emit"]
 
 
 def peak_rss_bytes() -> int:
@@ -165,8 +179,10 @@ class ShardWorker:
     path, so inline and process runs cannot drift apart.
 
     ``spans_sample >= 1`` switches on wall-clock span recording with
-    that downsampling stride (0 = off); ``worker`` is the physical
-    worker id stamped onto telemetry and spans.
+    that downsampling stride (0 = off); ``trace_sample >= 1`` switches
+    on per-record tracing with that rid stride (0 = off); ``worker``
+    is the physical worker id stamped onto telemetry, spans and trace
+    events.
     """
 
     def __init__(
@@ -176,6 +192,7 @@ class ShardWorker:
         num_shards: int,
         spans_sample: int = 0,
         worker: int = 0,
+        trace_sample: int = 0,
     ):
         self.config = config
         self.num_shards = num_shards
@@ -205,6 +222,9 @@ class ShardWorker:
         self.lifetime_s = 0.0
         self.spans: Optional[SpanRecorder] = (
             SpanRecorder(sample=spans_sample) if spans_sample >= 1 else None
+        )
+        self.tracer: Optional[TraceRecorder] = (
+            TraceRecorder(sample=trace_sample) if trace_sample >= 1 else None
         )
         #: Per-shard batch sequence numbers — the deterministic sampling
         #: key (a pure function of the shard plan and batch size, never
@@ -247,11 +267,20 @@ class ShardWorker:
     def process_batch(
         self, shard: int, items: Sequence[Tuple[int, Record]]
     ) -> None:
-        if self.spans is not None:
+        if self.spans is not None or self.tracer is not None:
             seq = self._batch_seq.get(shard, 0)
             self._batch_seq[shard] = seq + 1
-            if self.spans.keep(seq):
-                self._process_batch_timed(shard, items, seq)
+            record_spans = self.spans is not None and self.spans.keep(seq)
+            tracer = self.tracer
+            # Inlined rid-stride check (vs tracer.selected) keeps the
+            # per-record cost of an all-untraced batch to one modulo.
+            stride = tracer.sample if tracer is not None else 0
+            if record_spans or (
+                stride and any(not r.rid % stride for _, r in items)
+            ):
+                self._process_batch_instrumented(
+                    shard, items, seq, record_spans
+                )
                 return
         start = time.monotonic()
         engine = self.engines[shard]
@@ -278,16 +307,24 @@ class ShardWorker:
         self.busy_s += end - start
         self.intervals.append((start, end))
 
-    def _process_batch_timed(
-        self, shard: int, items: Sequence[Tuple[int, Record]], seq: int
+    def _process_batch_instrumented(
+        self,
+        shard: int,
+        items: Sequence[Tuple[int, Record]],
+        seq: int,
+        record_spans: bool,
     ) -> None:
-        """The sampled path: identical engine/meter calls in identical
-        order, plus accumulated probe/insert timing and a separately
-        timed meter flush. Emitted spans tile the batch window in
-        canonical phase order (probe, insert, flush) — per-phase totals
-        are exact, positions within the batch approximate (the two
-        phases interleave per record)."""
+        """The sampled path — spans, tracing, or both: identical
+        engine/meter calls in identical order, plus per-record timing
+        for every record when spans sampled this batch (the per-phase
+        totals must be exact) and for traced records always (their
+        probe/insert/match-emit windows become trace events). Emitted
+        spans tile the batch window in canonical phase order (probe,
+        insert, flush) — per-phase totals are exact, positions within
+        the batch approximate (the two phases interleave per record)."""
         monotonic = time.monotonic
+        tracer = self.tracer
+        stride = tracer.sample if tracer is not None else 0
         start = monotonic()
         engine = self.engines[shard]
         meter = self.meters[shard]
@@ -298,23 +335,49 @@ class ShardWorker:
         batched.__enter__()
         try:
             for op, record in items:
+                traced = bool(stride) and not record.rid % stride
+                timed = record_spans or traced
                 if op & PROBE:
                     had_probe = True
-                    t0 = monotonic()
-                    matches = engine.probe(record)
-                    probe_s += monotonic() - t0
+                    if timed:
+                        t0 = monotonic()
+                        matches = engine.probe(record)
+                        t1 = monotonic()
+                        probe_s += t1 - t0
+                        if traced:
+                            tracer.record(_EV_PROBE, record.rid, t0, t1, shard)
+                    else:
+                        matches = engine.probe(record)
                     meter.event("results", len(matches))
                     if matches:
                         ts, rid = record.timestamp, record.rid
-                        for m in matches:
-                            rows.append(
-                                (ts, rid, m.partner.rid, m.overlap, m.similarity)
+                        if traced:
+                            t0 = monotonic()
+                            for m in matches:
+                                rows.append(
+                                    (ts, rid, m.partner.rid,
+                                     m.overlap, m.similarity)
+                                )
+                            tracer.record(
+                                _EV_MATCH_EMIT, rid, t0, monotonic(), shard
                             )
+                        else:
+                            for m in matches:
+                                rows.append(
+                                    (ts, rid, m.partner.rid,
+                                     m.overlap, m.similarity)
+                                )
                 if op & INDEX:
                     had_insert = True
-                    t0 = monotonic()
-                    engine.insert(record)
-                    insert_s += monotonic() - t0
+                    if timed:
+                        t0 = monotonic()
+                        engine.insert(record)
+                        t1 = monotonic()
+                        insert_s += t1 - t0
+                        if traced:
+                            tracer.record(_EV_INSERT, record.rid, t0, t1, shard)
+                    else:
+                        engine.insert(record)
         except BaseException:
             batched.__exit__(*sys.exc_info())
             raise
@@ -322,14 +385,15 @@ class ShardWorker:
         batched.__exit__(None, None, None)
         end = monotonic()
 
-        spans = self.spans
-        cursor = start
-        if had_probe:
-            spans.record(_PROBE_PHASE, cursor, cursor + probe_s, shard, seq)
-            cursor += probe_s
-        if had_insert:
-            spans.record(_INSERT_PHASE, cursor, cursor + insert_s, shard, seq)
-        spans.record(_METER_FLUSH, flush_start, end, shard, seq)
+        if record_spans:
+            spans = self.spans
+            cursor = start
+            if had_probe:
+                spans.record(_PROBE_PHASE, cursor, cursor + probe_s, shard, seq)
+                cursor += probe_s
+            if had_insert:
+                spans.record(_INSERT_PHASE, cursor, cursor + insert_s, shard, seq)
+            spans.record(_METER_FLUSH, flush_start, end, shard, seq)
 
         self.records += len(items)
         self.batches += 1
@@ -344,6 +408,7 @@ class ShardWorker:
             )
         self.matches.sort()
         spans = self.spans
+        tracer = self.tracer
         return {
             "meters": {
                 shard: {
@@ -364,6 +429,10 @@ class ShardWorker:
             "peak_rss_bytes": peak_rss_bytes(),
             "span_count": len(spans) if spans is not None else 0,
             "span_record_cost_s": spans.record_cost_s if spans is not None else 0.0,
+            "trace_count": len(tracer) if tracer is not None else 0,
+            "trace_record_cost_s": (
+                tracer.record_cost_s if tracer is not None else 0.0
+            ),
         }
 
 
@@ -444,6 +513,7 @@ def worker_main(
     spans_sample: int = 0,
     heartbeat=None,
     heartbeat_interval: float = 0.0,
+    trace_sample: int = 0,
 ) -> None:
     """Child-process entry point (module-level: spawn-context picklable).
 
@@ -452,6 +522,11 @@ def worker_main(
     the result pipe with a bounded timeout and emits a rolling-counter
     frame whenever a sample falls due — including while blocked waiting
     for the driver, which is exactly when live visibility matters.
+
+    ``trace_sample >= 1`` switches on per-record tracing: the worker
+    re-derives the traced rid set from the stride alone (no trace
+    context arrives on the wire), stamps decode/probe/insert/match-emit
+    events, and ships them back post-EOF as one ``TAG_TRACE`` frame.
     """
     born = time.monotonic()
     emitter = None
@@ -459,10 +534,12 @@ def worker_main(
         worker = ShardWorker(
             config, shard_ids, num_shards,
             spans_sample=spans_sample, worker=worker_id,
+            trace_sample=trace_sample,
         )
         if heartbeat is not None and heartbeat_interval > 0:
             emitter = HeartbeatEmitter(heartbeat, worker_id, heartbeat_interval)
         spans = worker.spans
+        tracer = worker.tracer
         frames = 0
         while True:
             t_wait = time.monotonic()
@@ -480,11 +557,24 @@ def worker_main(
             if tag == TAG_BATCH:
                 (shard,) = _U32.unpack_from(msg, 1)
                 payload = msg[1 + _U32.size :]
-                if spans is not None and worker.will_sample(shard):
+                span_decode = spans is not None and worker.will_sample(shard)
+                if span_decode or tracer is not None:
                     seq = worker._batch_seq.get(shard, 0)
                     t0 = time.monotonic()
                     items = decode_record_batch(payload)
-                    spans.record(_DECODE, t0, time.monotonic(), shard, seq)
+                    t1 = time.monotonic()
+                    if span_decode:
+                        spans.record(_DECODE, t0, t1, shard, seq)
+                    if tracer is not None:
+                        # Traced rids are re-derived from the stride:
+                        # every traced record in the batch inherits the
+                        # batch's decode window.
+                        stride = tracer.sample
+                        for _op, record in items:
+                            if not record.rid % stride:
+                                tracer.record(
+                                    _EV_DECODE, record.rid, t0, t1, shard
+                                )
                 else:
                     items = decode_record_batch(payload)
                 worker.process_batch(shard, items)
@@ -512,6 +602,11 @@ def worker_main(
                 if spans is not None:
                     out_frames.append(
                         bytes([TAG_SPANS]) + encode_span_frame(*spans.columns())
+                    )
+                if tracer is not None:
+                    out_frames.append(
+                        bytes([TAG_TRACE])
+                        + encode_trace_frame(*tracer.columns())
                     )
                 # bytes_out counts the data plane (match + span frames);
                 # the pickled summary frame itself is excluded — it has

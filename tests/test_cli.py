@@ -147,10 +147,31 @@ class TestJoinParallel:
                      "--bundles"]) == 2
         assert "--bundles" in capsys.readouterr().err
 
-    def test_rejects_trace_out(self, corpus_file, tmp_path, capsys):
+    def test_trace_out_writes_rectrace_artefact(self, corpus_file, tmp_path,
+                                                capsys):
+        from repro.obs.rectrace import (
+            load_rectrace_jsonl, rectrace_smoke)
+
+        path = tmp_path / "run.rectrace.jsonl"
         assert main(["join", str(corpus_file), "--parallel",
-                     "--trace-out", str(tmp_path / "t.jsonl")]) == 2
-        assert "simulated cluster" in capsys.readouterr().err
+                     "--workers", "2", "--threshold", "0.7",
+                     "--trace-sample", "1",
+                     "--trace-out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace:" in out and "records" in out
+        rows = load_rectrace_jsonl(str(path))
+        assert rectrace_smoke(rows) == []
+        assert rows[0]["sample"] == 1
+
+    def test_rejects_trace_sample_without_parallel(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file),
+                     "--trace-sample", "4"]) == 2
+        assert "--trace-sample requires --parallel" in capsys.readouterr().err
+
+    def test_rejects_bad_trace_sample(self, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--parallel",
+                     "--trace-sample", "0"]) == 2
+        assert "--trace-sample" in capsys.readouterr().err
 
     def test_rejects_spans_out_without_parallel(self, corpus_file, tmp_path,
                                                 capsys):
@@ -286,6 +307,20 @@ class TestSpansCommand:
         assert main(["spans", self.FIXTURE, "--width", "5"]) == 2
         assert "--width" in capsys.readouterr().err
 
+    def test_chrome_export_round_trips(self, tmp_path, capsys):
+        out_path = tmp_path / "spans.chrome.json"
+        assert main(["spans", self.FIXTURE, "--chrome", str(out_path)]) == 0
+        assert "chrome:" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        assert events
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid"):
+                assert key in event
+        assert any(e["ph"] == "X" for e in events)
+        names = {e["args"]["name"] for e in events if e["ph"] == "M"}
+        assert "driver" in names
+
 
 class TestTelemetryCommands:
     @pytest.fixture
@@ -418,7 +453,17 @@ class TestBench:
             assert all(entry["correctness"].values())
             assert entry["throughput_rps"] > 0
         assert scaling["host_cpus"] >= 1
-        assert "parallel scaling" in capsys.readouterr().out
+        telemetry = payload["parallel"]["telemetry"]
+        assert all(telemetry["correctness"].values())
+        latency = payload["parallel"]["latency"]
+        assert all(latency["correctness"].values())
+        assert latency["traced"] >= 1
+        assert "e2e" in latency["stages"]
+        for entry in latency["stages"].values():
+            assert entry["p50_s"] <= entry["p95_s"] <= entry["p99_s"]
+        printed = capsys.readouterr().out
+        assert "parallel scaling" in printed
+        assert "trace overhead" in printed
 
     def test_bench_wallclock_rejects_bad_scale(self, capsys):
         assert main(["bench", "--wallclock",
@@ -448,6 +493,74 @@ class TestTrace:
                      "--expiry", "eager"]) == 0
         out = capsys.readouterr().out
         assert "per-hop breakdown" in out
+
+
+class TestTraceRectraceCommand:
+    @pytest.fixture
+    def rectrace_file(self, tmp_path, capsys):
+        corpus = tmp_path / "c.txt"
+        corpus.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\nomega psi chi rho\n"
+        )
+        path = tmp_path / "run.rectrace.jsonl"
+        assert main(["join", str(corpus), "--parallel", "--workers", "2",
+                     "--threshold", "0.7", "--trace-sample", "1",
+                     "--trace-out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_analyze(self, rectrace_file, capsys):
+        assert main(["trace", str(rectrace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "per-stage latency" in out
+        assert "slowest" in out
+        assert "e2e" in out
+
+    def test_smoke(self, rectrace_file, capsys):
+        assert main(["trace", str(rectrace_file), "--smoke"]) == 0
+        assert "trace smoke ok" in capsys.readouterr().out
+
+    def test_json_output(self, rectrace_file, capsys):
+        assert main(["trace", str(rectrace_file), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["header"]["artefact"] == "rectrace"
+        assert "e2e" in payload["stages"]
+        for entry in payload["stages"].values():
+            for key in ("count", "mean_s", "p50_s", "p95_s", "p99_s"):
+                assert key in entry
+        assert payload["slowest"]
+
+    def test_chrome_export(self, rectrace_file, tmp_path, capsys):
+        out_path = tmp_path / "rect.chrome.json"
+        assert main(["trace", str(rectrace_file),
+                     "--chrome", str(out_path)]) == 0
+        assert "chrome:" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        events = payload["traceEvents"]
+        for event in events:
+            for key in ("ph", "ts", "pid", "tid"):
+                assert key in event
+        # The record's hop across the process boundary: flow events
+        # keyed by rid.
+        assert any(e["ph"] == "s" for e in events)
+        assert any(e["ph"] == "f" for e in events)
+
+    def test_smoke_fails_on_truncated_file(self, rectrace_file, tmp_path,
+                                           capsys):
+        lines = [l for l in rectrace_file.read_text().splitlines()
+                 if '"event": "feed"' not in l]
+        bad = tmp_path / "nofeed.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        assert main(["trace", str(bad), "--smoke"]) == 1
+        assert "feed" in capsys.readouterr().err
+
+    def test_chrome_rejected_on_token_input(self, tmp_path, capsys):
+        corpus = tmp_path / "c.txt"
+        corpus.write_text("alpha beta\nalpha beta gamma\n")
+        assert main(["trace", str(corpus),
+                     "--chrome", str(tmp_path / "x.json")]) == 2
+        assert "--chrome" in capsys.readouterr().err
 
 
 class TestParser:

@@ -1,0 +1,382 @@
+"""Distributed record tracing: codec, recorder, determinism, differential.
+
+The tentpole contract of the record-tracing PR: tracing is
+monitoring-plane only. Every observable — match rows, operation and
+event totals, signal peaks, fingerprints — is bit-identical with
+tracing off, on, and at any sampling stride, on both executors. On
+top of that, the traced rid set and each record's event structure are
+pure functions of the shard plan: identical across worker counts and
+batch sizes.
+"""
+
+import json
+from array import array
+
+import pytest
+
+from repro.core.config import JoinConfig
+from repro.obs.rectrace import (
+    DEFAULT_TRACE_SAMPLE,
+    EVENT_ID,
+    TRACE_EVENTS,
+    TRACE_STAGES,
+    TraceRecorder,
+    latency_digest,
+    latency_metrics,
+    load_rectrace_jsonl,
+    record_trees,
+    rectrace_smoke,
+    slowest_records,
+    split_rectrace,
+    stage_durations,
+    trace_to_rows,
+    validate_rectrace_lines,
+    write_rectrace_jsonl,
+)
+from repro.obs.registry import ObsRegistry
+from repro.parallel import ParallelJoinRunner, run_serial
+from repro.parallel.codec import (
+    TRACE_MAGIC,
+    TRACE_VERSION,
+    CodecError,
+    decode_trace_frame,
+    encode_trace_frame,
+)
+
+from tests.test_parallel_differential import (
+    assert_equal_observables,
+    fuzz_records,
+    try_process_run,
+)
+
+
+def _columns(rows):
+    """(event, rid, shard, start, end) rows → recorder-shaped columns."""
+    events = array("B", (r[0] for r in rows))
+    rids = array("q", (r[1] for r in rows))
+    shards = array("i", (r[2] for r in rows))
+    starts = array("d", (r[3] for r in rows))
+    ends = array("d", (r[4] for r in rows))
+    return events, rids, shards, starts, ends
+
+
+class TestTraceFrameCodec:
+    """TAG_TRACE wire frame, mirroring the heartbeat codec tests."""
+
+    ROWS = [
+        (EVENT_ID["feed"], 0, -1, 0.25, 0.5),
+        (EVENT_ID["decode"], 16, 3, 1.0, 1.125),
+        (EVENT_ID["probe"], 16, 3, 1.25, 1.5),
+        (EVENT_ID["match_emit"], 2 ** 40, 7, 2.0, 2.0625),
+    ]
+
+    def test_round_trip_every_column(self):
+        cols = _columns(self.ROWS)
+        decoded = decode_trace_frame(encode_trace_frame(*cols))
+        assert [tuple(c) for c in decoded] == [tuple(c) for c in cols]
+
+    def test_empty_frame_round_trips(self):
+        cols = _columns([])
+        decoded = decode_trace_frame(encode_trace_frame(*cols))
+        assert all(len(c) == 0 for c in decoded)
+
+    def test_truncated_frame_rejected(self):
+        frame = encode_trace_frame(*_columns(self.ROWS))
+        with pytest.raises(CodecError, match="truncated"):
+            decode_trace_frame(frame[:3])
+        with pytest.raises(CodecError, match="inconsistent"):
+            decode_trace_frame(frame[:-1])
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(encode_trace_frame(*_columns(self.ROWS)))
+        frame[0] ^= 0xFF
+        with pytest.raises(CodecError, match="magic"):
+            decode_trace_frame(bytes(frame))
+
+    def test_unknown_version_rejected(self):
+        frame = bytearray(encode_trace_frame(*_columns(self.ROWS)))
+        frame[2] = TRACE_VERSION + 1
+        with pytest.raises(CodecError, match="version"):
+            decode_trace_frame(bytes(frame))
+
+    def test_magic_constant_spells_tc(self):
+        assert TRACE_MAGIC == 0x5443  # "TC"
+
+
+class TestTraceRecorder:
+    def test_selected_is_pure_stride(self):
+        recorder = TraceRecorder(sample=4)
+        assert [rid for rid in range(13) if recorder.selected(rid)] == [
+            0, 4, 8, 12,
+        ]
+
+    def test_sample_one_selects_everything(self):
+        recorder = TraceRecorder(sample=1)
+        assert all(recorder.selected(rid) for rid in range(10))
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(sample=0)
+        with pytest.raises(ValueError):
+            TraceRecorder(sample=4, capacity=0)
+
+    def test_record_grows_past_capacity(self):
+        recorder = TraceRecorder(sample=1, capacity=2, measure=False)
+        for i in range(5):
+            recorder.record(EVENT_ID["probe"], i, float(i), float(i) + 0.5, 1)
+        assert len(recorder) == 5
+        events, rids, shards, starts, ends = recorder.columns()
+        assert list(rids) == [0, 1, 2, 3, 4]
+        assert list(ends) == [0.5, 1.5, 2.5, 3.5, 4.5]
+
+    def test_rows_rebase_and_label(self):
+        recorder = TraceRecorder(sample=1, measure=False)
+        recorder.record(EVENT_ID["decode"], 3, 10.0, 10.5, 2)
+        (row,) = recorder.rows(base=10.0, worker=1)
+        assert row == {
+            "kind": "event", "event": "decode", "rid": 3, "worker": 1,
+            "shard": 2, "start": 0.0, "end": 0.5,
+        }
+
+    def test_overhead_estimate_scales_with_count(self):
+        recorder = TraceRecorder(sample=1)
+        assert recorder.estimated_overhead_s() == 0.0
+        recorder.record(EVENT_ID["probe"], 0, 0.0, 0.1, 0)
+        assert recorder.estimated_overhead_s() == recorder.record_cost_s
+
+
+def _trace_signature(doc):
+    """Per-rid multiset of (event, shard) — the cross-config invariant.
+
+    Timings and worker ids legitimately vary; which events a record
+    incurs on which shards must not.
+    """
+    signature = {}
+    for rid, tree in record_trees(doc).items():
+        signature[rid] = sorted((row["event"], row["shard"]) for row in tree)
+    return signature
+
+
+class TestSamplingDeterminism:
+    """Traced set and event structure across workers and batch sizes."""
+
+    CONFIG = JoinConfig(threshold=0.6)
+
+    def _doc(self, records, workers, batch_size, sample=8):
+        runner = ParallelJoinRunner(
+            self.CONFIG, workers=workers, executor="inline",
+            batch_size=batch_size, trace=True, trace_sample=sample,
+        )
+        return runner.run(records).rectrace_document()
+
+    def test_traced_rids_identical_across_workers(self):
+        records = fuzz_records(seed=11, n=240)
+        expected = {rid for rid in range(240) if rid % 8 == 0}
+        for workers in (1, 2, 4):
+            doc = self._doc(records, workers, batch_size=32)
+            assert set(record_trees(doc)) == expected, f"workers={workers}"
+
+    def test_event_structure_identical_across_workers(self):
+        records = fuzz_records(seed=12, n=240)
+        reference = _trace_signature(self._doc(records, 1, batch_size=32))
+        for workers in (2, 4):
+            signature = _trace_signature(self._doc(records, workers, 32))
+            assert signature == reference, f"workers={workers}"
+
+    def test_event_structure_identical_across_batch_sizes(self):
+        records = fuzz_records(seed=13, n=240)
+        reference = _trace_signature(self._doc(records, 2, batch_size=1))
+        for batch_size in (7, 64):
+            signature = _trace_signature(self._doc(records, 2, batch_size))
+            assert signature == reference, f"batch_size={batch_size}"
+
+    def test_every_traced_record_has_full_pipeline(self):
+        records = fuzz_records(seed=14, n=120)
+        doc = self._doc(records, 2, batch_size=16, sample=4)
+        for rid, tree in record_trees(doc).items():
+            events = [row["event"] for row in tree]
+            assert events[0] == "feed", rid
+            assert "encode" in events and "decode" in events, rid
+            assert "probe" in events or "insert" in events, rid
+
+
+class TestTracingDifferential:
+    """Observables bit-identical with tracing on/off, both executors,
+    >= 2 worker counts, >= 2 sampling strides."""
+
+    def test_inline_grid_on_off_any_stride(self):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=21, n=300)
+        serial = run_serial(config, records)
+        for workers in (1, 2, 4):
+            for sample in (1, 5, DEFAULT_TRACE_SAMPLE):
+                result = ParallelJoinRunner(
+                    config, workers=workers, executor="inline",
+                    trace=True, trace_sample=sample,
+                ).run(records)
+                assert_equal_observables(
+                    serial, result, f"inline w={workers} sample={sample}"
+                )
+            off = ParallelJoinRunner(
+                config, workers=workers, executor="inline"
+            ).run(records)
+            assert_equal_observables(serial, off, f"inline w={workers} off")
+
+    def test_process_on_off_differential(self):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=22, n=250)
+        serial = run_serial(config, records)
+        for workers in (1, 2):
+            for sample in (4, DEFAULT_TRACE_SAMPLE):
+                result = try_process_run(
+                    ParallelJoinRunner(
+                        config, workers=workers, executor="process",
+                        trace=True, trace_sample=sample,
+                    ),
+                    records,
+                )
+                assert_equal_observables(
+                    serial, result, f"process w={workers} sample={sample}"
+                )
+                assert result.trace_header["traced"] == sum(
+                    1 for rid in range(250) if rid % sample == 0
+                )
+
+    def test_tracing_composes_with_spans_and_telemetry(self):
+        config = JoinConfig(threshold=0.6)
+        records = fuzz_records(seed=23, n=200)
+        serial = run_serial(config, records)
+        result = ParallelJoinRunner(
+            config, workers=2, executor="inline",
+            trace=True, trace_sample=4, spans=True, telemetry=True,
+        ).run(records)
+        assert_equal_observables(serial, result, "trace+spans+telemetry")
+        assert result.span_header is not None
+        assert result.telemetry is not None
+        assert rectrace_smoke(result.rectrace_document()) == []
+
+    def test_invalid_trace_sample_rejected(self):
+        with pytest.raises(ValueError, match="trace_sample"):
+            ParallelJoinRunner(JoinConfig(), trace=True, trace_sample=0)
+
+
+class TestRectraceArtefact:
+    def _result(self, executor="inline", workers=2, sample=4, n=160, seed=31):
+        return ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=workers, executor=executor,
+            trace=True, trace_sample=sample,
+        ).run(fuzz_records(seed=seed, n=n))
+
+    def test_jsonl_round_trip(self, tmp_path):
+        result = self._result()
+        path = tmp_path / "run.rectrace.jsonl"
+        lines = result.write_rectrace(str(path))
+        rows = load_rectrace_jsonl(str(path))
+        assert len(rows) == lines
+        assert validate_rectrace_lines(rows) == []
+        assert rectrace_smoke(rows) == []
+        assert rows == result.rectrace_document()
+
+    def test_header_shape(self):
+        result = self._result(sample=4, n=160)
+        header, events = split_rectrace(result.rectrace_document())
+        assert header["artefact"] == "rectrace"
+        assert header["sample"] == 4
+        assert header["records"] == 160
+        assert header["traced"] == 40
+        assert header["events"] == len(events)
+        assert set(header["stages"]) <= set(TRACE_STAGES)
+
+    def test_corrupt_line_pointed_error(self, tmp_path):
+        result = self._result(n=80)
+        path = tmp_path / "bad.jsonl"
+        result.write_rectrace(str(path))
+        text = path.read_text().splitlines()
+        text[1] = text[1][:-10]
+        path.write_text("\n".join(text) + "\n")
+        with pytest.raises(ValueError, match="corrupt trace line"):
+            load_rectrace_jsonl(str(path))
+
+    def test_validate_flags_off_stride_rid(self):
+        rows = self._result(sample=4, n=80).rectrace_document()
+        rows.append(dict(rows[1], rid=3))
+        errors = validate_rectrace_lines(rows)
+        assert any("sample" in error for error in errors)
+
+    def test_untraced_run_raises(self):
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="inline"
+        ).run(fuzz_records(seed=32, n=60))
+        with pytest.raises(ValueError, match="traced no records"):
+            result.rectrace_document()
+        with pytest.raises(ValueError, match="traced no records"):
+            result.latency_digest()
+
+
+class TestLatencyAnalysis:
+    def _doc(self, executor="inline"):
+        runner = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor=executor,
+            trace=True, trace_sample=4,
+        )
+        if executor == "process":
+            return try_process_run(
+                runner, fuzz_records(seed=41, n=160)
+            ).rectrace_document()
+        return runner.run(fuzz_records(seed=41, n=160)).rectrace_document()
+
+    def test_digest_has_quantiles_per_stage(self):
+        digest = latency_digest(self._doc())
+        assert "e2e" in digest and "feed" in digest
+        for entry in digest.values():
+            assert entry["count"] >= 1
+            assert 0 <= entry["p50_s"] <= entry["p95_s"] <= entry["p99_s"]
+
+    def test_pipe_stage_only_with_processes(self):
+        inline = latency_digest(self._doc("inline"))
+        assert "pipe" not in inline and "pipe_write" not in inline
+        process = latency_digest(self._doc("process"))
+        assert "pipe" in process and "pipe_write" in process
+        assert all(sample >= 0 for sample in
+                   stage_durations(self._doc("process"))["pipe"])
+
+    def test_e2e_bounds_every_stage_mean(self):
+        _, events = split_rectrace(self._doc())
+        durations = stage_durations(events)
+        e2e = max(durations["e2e"])
+        for stage in TRACE_EVENTS:
+            for sample in durations.get(stage, ()):
+                assert sample <= e2e + 1e-9
+
+    def test_metrics_fold(self):
+        registry = ObsRegistry()
+        _, events = split_rectrace(self._doc())
+        latency_metrics(events, registry)
+        families = [f.name for f in registry.families()]
+        assert "rectrace_stage_latency_seconds" in families
+
+    def test_result_metrics_registry_carries_latency(self):
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.6), workers=2, executor="inline",
+            trace=True, trace_sample=4,
+        ).run(fuzz_records(seed=42, n=120))
+        families = [f.name for f in result.metrics_registry().families()]
+        assert "rectrace_stage_latency_seconds" in families
+        digest = result.latency_digest()
+        assert digest == latency_digest(result.trace_rows)
+
+    def test_slowest_records_sorted_and_bounded(self):
+        doc = self._doc()
+        slow = slowest_records(doc, top=3)
+        assert len(slow) == 3
+        assert slow[0]["e2e_s"] >= slow[1]["e2e_s"] >= slow[2]["e2e_s"]
+        for entry in slow:
+            assert entry["rid"] % 4 == 0
+            assert entry["stages"]
+
+    def test_trace_to_rows_matches_recorder_rows(self):
+        recorder = TraceRecorder(sample=1, measure=False)
+        recorder.record(EVENT_ID["probe"], 8, 2.0, 2.5, 1)
+        assert trace_to_rows(
+            *recorder.columns(), base=1.0, worker=3
+        ) == recorder.rows(base=1.0, worker=3)
