@@ -440,6 +440,124 @@ def trace_overhead_section(
     }
 
 
+def _transport_io(totals: Dict[str, object]) -> Dict[str, float]:
+    """Codec-tax metrics of one run's ``phase_totals``.
+
+    Driver side: ``encode`` (building the wire frames / column parts)
+    plus the transport write (``pipe_write`` under the pipe transport,
+    ``shm_write`` — ring copy + credit waits + descriptor sends — under
+    shm; whichever is unused totals 0). Worker side: ``decode`` plus
+    the blocked read wait (``pipe_read``/``shm_read``), summed over
+    workers. These are exactly the phases the zero-copy transport
+    exists to shrink.
+    """
+    driver = totals["driver"]
+    encode = float(driver.get("encode", 0.0))
+    write = float(driver.get("pipe_write", 0.0)) + float(
+        driver.get("shm_write", 0.0)
+    )
+    decode = read = 0.0
+    for entry in totals["workers"].values():
+        decode += float(entry.get("decode", 0.0))
+        read += float(entry.get("pipe_read", 0.0)) + float(
+            entry.get("shm_read", 0.0)
+        )
+    return {
+        "encode_s": encode,
+        "write_s": write,
+        "decode_s": decode,
+        "read_s": read,
+        "driver_io_s": encode + write,
+        "worker_io_s": decode + read,
+    }
+
+
+def transport_comparison_section(
+    workers: int = 2,
+    repeats: int = 3,
+    similarity: str = "jaccard",
+    threshold: float = 0.8,
+    seed: int = SEED,
+    scale: float = 1.0,
+    corpus: str = HEADLINE_CORPUS,
+    batch_size: Optional[int] = None,
+) -> Dict[str, object]:
+    """Pipe vs. shared-memory transport A/B (``parallel.transport``).
+
+    The calibrated workload runs through the process executor with
+    spans on, in interleaved pipe/shm pairs (drift on a time-shared
+    host cancels instead of biasing the ratio). Each transport reports
+    its best wall time plus the best-of-repeats codec-tax phase sums
+    (:func:`_transport_io`): the driver's ``encode`` + transport write
+    and the workers' ``decode`` + blocked read. The acceptance claim is
+    ``shm_wins`` — both sums strictly smaller under shm, i.e. the
+    zero-copy path really did kill the codec tax rather than move it.
+    Observables of both runs are diffed against
+    :func:`~repro.parallel.runtime.run_serial` ground truth and folded
+    into :func:`correctness_ok`; like every wall-clock number, the
+    timings themselves are reported, never gated, in CI.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    from repro.parallel.shm import shm_supported
+
+    ok, reason = shm_supported()
+    if not ok:
+        return {"supported": False, "reason": reason}
+    base_n, generator, _ = WALLCLOCK_CORPORA[corpus]
+    n = max(100, int(base_n * scale))
+    records = list(generator(n, seed))
+    config = JoinConfig(similarity=similarity, threshold=threshold)
+    if batch_size is not None:
+        config = config.replace(batch_size=batch_size)
+    serial = run_serial(config, records)
+
+    best: Dict[str, object] = {}
+    io_best: Dict[str, Dict[str, float]] = {}
+    for _ in range(repeats):
+        for transport in ("pipe", "shm"):
+            result = ParallelJoinRunner(
+                config, workers=workers, spans=True, transport=transport
+            ).run(records)
+            io = _transport_io(result.phase_totals())
+            if transport not in best or result.wall_s < best[transport].wall_s:
+                best[transport] = result
+            held = io_best.setdefault(transport, io)
+            for key, value in io.items():
+                held[key] = min(held[key], value)
+
+    section: Dict[str, object] = {
+        "supported": True,
+        "corpus": corpus,
+        "records": n,
+        "workers": workers,
+        "batch_size": config.batch_size,
+    }
+    for transport in ("pipe", "shm"):
+        result = best[transport]
+        section[transport] = {
+            "wall_s": round(result.wall_s, 6),
+            "io": {k: round(v, 6) for k, v in io_best[transport].items()},
+            "correctness": {
+                "matches_equal": result.matches == serial.matches,
+                "operations_equal": result.operations == serial.operations,
+                "events_equal": result.events == serial.events,
+            },
+        }
+    pipe_io, shm_io = io_best["pipe"], io_best["shm"]
+    section["driver_io_speedup"] = round(
+        pipe_io["driver_io_s"] / shm_io["driver_io_s"], 3
+    ) if shm_io["driver_io_s"] > 0 else None
+    section["worker_io_speedup"] = round(
+        pipe_io["worker_io_s"] / shm_io["worker_io_s"], 3
+    ) if shm_io["worker_io_s"] > 0 else None
+    section["shm_wins"] = {
+        "driver_io": shm_io["driver_io_s"] < pipe_io["driver_io_s"],
+        "worker_io": shm_io["worker_io_s"] < pipe_io["worker_io_s"],
+    }
+    return section
+
+
 def wallclock_suite(
     corpora: Optional[List[str]] = None,
     repeats: int = 3,
@@ -607,6 +725,15 @@ def wallclock_suite(
                 scale=scale,
                 batch_size=batch_size,
             ),
+            "transport": transport_comparison_section(
+                workers=min(2, workers),
+                repeats=max(repeats, 5),
+                similarity=similarity,
+                threshold=threshold,
+                seed=seed,
+                scale=scale,
+                batch_size=batch_size,
+            ),
         }
     return payload
 
@@ -632,7 +759,19 @@ def correctness_ok(payload: Dict[str, object]) -> bool:
     latency_ok = (
         all(latency["correctness"].values()) if latency else True
     )
-    return engines_ok and parallel_ok and telemetry_ok and latency_ok
+    transport = payload.get("parallel", {}).get("transport")
+    transport_ok = (
+        all(
+            all(transport[name]["correctness"].values())
+            for name in ("pipe", "shm")
+        )
+        if transport and transport.get("supported")
+        else True
+    )
+    return (
+        engines_ok and parallel_ok and telemetry_ok and latency_ok
+        and transport_ok
+    )
 
 
 def render_wallclock(payload: Dict[str, object]) -> str:
@@ -714,4 +853,28 @@ def render_wallclock(payload: Dict[str, object]) -> str:
             f"{latency['traced']} records traced  {digest}"
             f"correctness {'ok' if ok else 'MISMATCH'}"
         )
+    transport = payload.get("parallel", {}).get("transport")
+    if transport:
+        if not transport.get("supported"):
+            lines.append(
+                f"  transport: shm unsupported ({transport.get('reason')})"
+            )
+        else:
+            ok = all(
+                all(transport[name]["correctness"].values())
+                for name in ("pipe", "shm")
+            )
+            wins = transport["shm_wins"]
+            lines.append(
+                f"  transport: workers={transport['workers']} "
+                f"batch={transport['batch_size']}  "
+                f"wall pipe {transport['pipe']['wall_s']*1e3:.1f}ms / "
+                f"shm {transport['shm']['wall_s']*1e3:.1f}ms  "
+                f"driver io x{transport['driver_io_speedup']:.2f} "
+                f"worker io x{transport['worker_io_speedup']:.2f} "
+                f"(shm wins: driver "
+                f"{'yes' if wins['driver_io'] else 'NO'}, worker "
+                f"{'yes' if wins['worker_io'] else 'NO'})  "
+                f"correctness {'ok' if ok else 'MISMATCH'}"
+            )
     return "\n".join(lines)

@@ -150,6 +150,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: 8, the simulated cluster's default "
                            "parallelism; observables depend on shards, "
                            "never on --workers)")
+    join.add_argument("--transport", default=None,
+                      choices=["auto", "pipe", "shm"],
+                      help="batch transport in --parallel mode: 'pipe' "
+                           "(struct frames over the worker pipe), 'shm' "
+                           "(zero-copy shared-memory rings, descriptors "
+                           "over the pipe), or 'auto' (shm when the "
+                           "platform supports it; the default)")
     join.add_argument("--batch-size", type=int, default=None,
                       help="records per IPC batch in --parallel mode "
                            "(default: 512)")
@@ -446,6 +453,11 @@ def _cmd_join(args) -> int:
             print(f"join: --trace-sample must be >= 1, got "
                   f"{args.trace_sample}", file=sys.stderr)
             return 2
+    if args.transport is not None and not args.parallel:
+        print("join: --transport requires --parallel (it picks the "
+              "multi-core runtime's batch transport; the simulated "
+              "cluster has no IPC)", file=sys.stderr)
+        return 2
     if args.heartbeat_interval is not None:
         if not args.parallel:
             print("join: --heartbeat-interval requires --parallel (it sets "
@@ -535,10 +547,21 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
     from repro.obs.rectrace import DEFAULT_TRACE_SAMPLE
     from repro.parallel import ParallelJoinRunner
 
+    transport = args.transport if args.transport is not None else "auto"
+    if transport == "shm":
+        from repro.parallel.shm import shm_supported
+
+        ok, reason = shm_supported()
+        if not ok:
+            print(f"join: --transport shm is unsupported on this platform "
+                  f"({reason}); use --transport pipe or auto",
+                  file=sys.stderr)
+            return 2
     trace = args.trace_out is not None or args.trace_sample is not None
     runner = ParallelJoinRunner(
         config,
         workers=args.workers,
+        transport=transport,
         spans=args.spans_out is not None,
         spans_sample=args.spans_sample,
         telemetry=args.telemetry_out is not None
@@ -558,6 +581,7 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
         "workers": result.workers,
         "shards": result.num_shards,
         "batch": result.batch_size,
+        "transport": result.transport,
         "records": result.records,
         "results": result.results,
         "wall_s": round(result.wall_s, 4),

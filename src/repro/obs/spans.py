@@ -31,11 +31,11 @@ Design constraints, in order:
   the driver and forked workers; the artefact rebases everything to the
   run start so spans read as seconds into the run.
 
-Phases (driver records the first six with ``worker == -1``)::
+Phases (the driver records the driver set with ``worker == -1``)::
 
     setup       plan shards, build engines, spawn workers
     feed        route records into per-shard batches (exclusive of the
-                two nested phases below in the analyzer's accounting)
+                nested encode/write phases in the analyzer's accounting)
     encode      struct-pack one batch           (nested inside feed)
     pipe_write  blocking send of one batch      (nested inside feed)
     drain       EOF broadcast + blocking reads of worker results
@@ -48,6 +48,16 @@ Phases (driver records the first six with ``worker == -1``)::
                 per-phase *totals* are exact)
     insert      insert calls of one batch (tiled after probe)
     meter_flush the one charge_many/event_many flush per batch
+    shm_write   ring credit wait + column copy + descriptor send of one
+                batch under ``--transport shm`` (nested inside feed;
+                replaces pipe_write in that run's accounting)
+    shm_read    worker blocking on a ring descriptor (replaces
+                pipe_read under ``--transport shm``)
+
+The shm phases were appended after the first release of the span wire
+format, so existing phase ids — and every committed artefact — stay
+valid; a pipe-transport run simply never records them (and vice
+versa).
 """
 
 from __future__ import annotations
@@ -75,14 +85,18 @@ PHASES = (
     "probe",
     "insert",
     "meter_flush",
+    "shm_write",  # appended in the shm-transport release: ids 0-10 are
+    "shm_read",   # frozen by committed artefacts, so new phases only append
 )
 PHASE_ID: Dict[str, int] = {name: i for i, name in enumerate(PHASES)}
 
-DRIVER_PHASES = PHASES[:6]
-WORKER_PHASES = PHASES[6:]
+#: Explicit actor vocabularies — no longer contiguous PHASES slices,
+#: since the appended shm phases interleave actors in id order.
+DRIVER_PHASES = ("setup", "feed", "encode", "pipe_write", "drain", "merge", "shm_write")
+WORKER_PHASES = ("pipe_read", "decode", "probe", "insert", "meter_flush", "shm_read")
 #: Worker phases that are actual work (as opposed to blocked waiting);
 #: the starvation detector and the critical path treat ``pipe_read``
-#: as waiting, not work.
+#: and ``shm_read`` as waiting, not work.
 WORKER_EXEC_PHASES = ("decode", "probe", "insert", "meter_flush")
 
 #: Worker id of driver-recorded spans.
@@ -351,10 +365,11 @@ def phase_totals(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
     ``merge``) tile the run, so their inclusive sum over the wall time
     — ``driver_coverage`` — measures how much of the run the span
     pipeline accounts for (the bench gate wants it within 5% of 1).
-    The reported ``feed`` is *exclusive* of its nested ``encode`` and
-    ``pipe_write`` spans, so the driver dict reads as a partition of
-    driver time; worker phase totals are reported as recorded (with
-    ``sample > 1`` they undercount by design — the header says so).
+    The reported ``feed`` is *exclusive* of its nested ``encode``,
+    ``pipe_write``, and ``shm_write`` spans, so the driver dict reads
+    as a partition of driver time; worker phase totals are reported as
+    recorded (with ``sample > 1`` they undercount by design — the
+    header says so).
     """
     header, spans = split_rows(rows)
     wall = float(header.get("wall_s", 0.0)) or 0.0
@@ -363,7 +378,10 @@ def phase_totals(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
     for phase in DRIVER_PHASES:
         driver[phase] = _sum_phase(spans, phase, DRIVER)
     covered = driver["setup"] + driver["feed"] + driver["drain"] + driver["merge"]
-    driver["feed"] = max(0.0, driver["feed"] - driver["encode"] - driver["pipe_write"])
+    driver["feed"] = max(
+        0.0,
+        driver["feed"] - driver["encode"] - driver["pipe_write"] - driver["shm_write"],
+    )
 
     workers: Dict[str, Dict[str, float]] = {}
     for row in spans:
@@ -488,7 +506,13 @@ def smoke_check(rows: Sequence[Dict[str, object]]) -> List[str]:
     if int(header.get("batches", 1)):
         expected |= {"encode", "decode", "probe", "insert", "meter_flush"}
         if header.get("executor") == "process":
-            expected |= {"pipe_write", "pipe_read", "drain"}
+            # The transport decides which write/read pair must appear;
+            # headers predating the shm transport have no field and
+            # keep the pipe expectation.
+            if header.get("transport") == "shm":
+                expected |= {"shm_write", "shm_read", "drain"}
+            else:
+                expected |= {"pipe_write", "pipe_read", "drain"}
     for phase in sorted(expected):
         if phase not in present:
             failures.append(f"no span covers phase {phase!r}")

@@ -92,6 +92,7 @@ class TelemetryRecorder:
         out_path: Optional[str] = None,
         thresholds: Optional[HealthThresholds] = None,
         component: str = "pworker",
+        transport: str = "pipe",
     ):
         if interval <= 0:
             raise ValueError(f"interval must be > 0, got {interval}")
@@ -101,6 +102,7 @@ class TelemetryRecorder:
         self.interval = interval
         self.base = base
         self.component = component
+        self.transport = transport
         self.monitor = HealthMonitor(thresholds)
         self.header: Dict[str, object] = {
             "kind": "header",
@@ -109,6 +111,7 @@ class TelemetryRecorder:
             "workers": workers,
             "shards": shards,
             "executor": executor,
+            "transport": transport,
             "thresholds": self.monitor.thresholds.as_dict(),
         }
         #: Every non-header row in arrival order (samples, driver
@@ -192,7 +195,12 @@ class TelemetryRecorder:
         ``stats`` carries ``records_routed``/``batches_sent``/
         ``bytes_out`` plus cumulative ``feed_s``/``encode_s``/
         ``pipe_write_s`` seconds; the blocked-write fraction drives the
-        pipe-backpressure detector online.
+        pipe-backpressure detector online. Under the shm transport the
+        runner also supplies ``shm_write_s`` (ring publish + credit-wait
+        seconds) and ``ring_occupancy`` (max filled fraction across the
+        batch rings); occupancy then feeds the same backpressure
+        detector — a persistently full ring is the shm analogue of a
+        blocked pipe write.
         """
         t = max(0.0, time.monotonic() - self.base)
         row = {
@@ -205,13 +213,22 @@ class TelemetryRecorder:
             "encode_s": round(float(stats.get("encode_s", 0.0)), 6),
             "pipe_write_s": round(float(stats.get("pipe_write_s", 0.0)), 6),
         }
+        has_ring = "ring_occupancy" in stats
+        if has_ring:
+            row["shm_write_s"] = round(float(stats.get("shm_write_s", 0.0)), 6)
+            row["ring_occupancy"] = round(
+                min(1.0, max(0.0, float(stats["ring_occupancy"]))), 6
+            )
         self.rows.append(row)
         self._write_line(row)
         if row["feed_s"] > 0:
+            if has_ring:
+                signal = row["ring_occupancy"]
+            else:
+                signal = row["pipe_write_s"] / row["feed_s"]
             self.monitor.on_signal(
                 "driver", 0, t,
-                "pipe_blocked_write_fraction",
-                row["pipe_write_s"] / row["feed_s"],
+                "pipe_blocked_write_fraction", signal,
             )
             self._drain_health_events()
         return row
@@ -570,10 +587,13 @@ class TelemetryView:
         lines: List[str] = []
         if self.header is not None:
             interval = self.header.get("interval")
+            transport = self.header.get("transport")
+            transport_note = f", transport={transport}" if transport else ""
             lines.append(
                 f"repro top — {self.header.get('workers')} workers, "
                 f"{self.header.get('shards')} shards, "
-                f"executor={self.header.get('executor')}, "
+                f"executor={self.header.get('executor')}"
+                f"{transport_note}, "
                 f"interval {interval}s"
             )
         else:

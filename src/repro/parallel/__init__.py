@@ -15,6 +15,7 @@ from repro.parallel.codec import (
     BOTH,
     INDEX,
     PROBE,
+    BatchEncoder,
     MatchRow,
     decode_heartbeat,
     decode_match_batch,
@@ -37,23 +38,29 @@ from repro.parallel.merge import (
 )
 from repro.parallel.planner import ShardPlan, plan_shards
 from repro.parallel.runtime import (
+    TRANSPORTS,
     ParallelJoinResult,
     ParallelJoinRunner,
     ParallelWorkerError,
     run_serial,
 )
+from repro.parallel.shm import RingBuffer, ShmRing, shm_supported
 from repro.parallel.worker import ShardWorker, build_shard_engine, worker_main
 
 __all__ = [
     "BOTH",
     "INDEX",
     "PROBE",
+    "BatchEncoder",
     "MatchRow",
     "ParallelJoinResult",
     "ParallelJoinRunner",
     "ParallelWorkerError",
+    "RingBuffer",
     "ShardPlan",
     "ShardWorker",
+    "ShmRing",
+    "TRANSPORTS",
     "build_shard_engine",
     "decode_heartbeat",
     "decode_match_batch",
@@ -70,6 +77,7 @@ __all__ = [
     "parallel_fingerprint",
     "plan_shards",
     "run_serial",
+    "shm_supported",
     "worker_health",
     "worker_main",
     "worker_metrics",

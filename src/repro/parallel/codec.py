@@ -45,8 +45,17 @@ five flat columns — event ``u8``, rid ``i64``, shard ``i32``, start
 :class:`~repro.obs.rectrace.TraceRecorder` storage layout, 29 bytes
 per traced event.
 
+Shared-memory descriptors (``TAG_SHM_FRAME`` / ``TAG_SHM_MATCHES``)
+are the control plane of the zero-copy transport
+(:mod:`repro.parallel.shm`): when batches travel through ring buffers
+instead of the pipe, the pipe carries only these 21-byte frames naming
+where in the ring the bytes live. The columnar layout above is
+unchanged — the shm driver writes the exact same column slices, just
+into the ring instead of a joined pipe message — which is what keeps
+the two transports bit-identical.
+
 Heartbeat frames (``TAG_HEARTBEAT``) are the one *in-flight* message:
-a single fixed-size struct (one packed row of rolling counters, 149
+a single fixed-size struct (one packed row of rolling counters, 157
 bytes tag included) a worker writes to its dedicated out-of-band
 heartbeat pipe every ``--heartbeat-interval`` seconds. The frame is
 deliberately far below ``PIPE_BUF`` so a non-blocking write either
@@ -76,14 +85,16 @@ PROBE, INDEX, BOTH = 1, 2, 3
 #: Frame tags — the first byte of every pipe message. Defined once
 #: here (and only here): driver and workers must agree on these or the
 #: wire protocol silently corrupts.
-TAG_BATCH = 0x01      # driver → worker: u32 shard + record batch
-TAG_EOF = 0x02        # driver → worker: end of stream (empty)
-TAG_MATCHES = 0x11    # worker → driver: match batch, repeated
-TAG_DONE = 0x12       # worker → driver: pickled summary dict
-TAG_SPANS = 0x13      # worker → driver: span frame, iff spans on
-TAG_HEARTBEAT = 0x14  # worker → driver (heartbeat pipe): live counters
-TAG_TRACE = 0x15      # worker → driver: record-trace frame, iff tracing
-TAG_ERROR = 0x7F      # worker → driver: pickled traceback string
+TAG_BATCH = 0x01        # driver → worker: u32 shard + record batch
+TAG_EOF = 0x02          # driver → worker: end of stream (empty)
+TAG_SHM_FRAME = 0x03    # driver → worker: shm ring frame descriptor
+TAG_MATCHES = 0x11      # worker → driver: match batch, repeated
+TAG_DONE = 0x12         # worker → driver: pickled summary dict
+TAG_SPANS = 0x13        # worker → driver: span frame, iff spans on
+TAG_HEARTBEAT = 0x14    # worker → driver (heartbeat pipe): live counters
+TAG_TRACE = 0x15        # worker → driver: record-trace frame, iff tracing
+TAG_SHM_MATCHES = 0x16  # worker → driver: mirror-ring match descriptor
+TAG_ERROR = 0x7F        # worker → driver: pickled traceback string
 
 MAGIC = 0x5052  # "PR"
 VERSION = 1
@@ -99,8 +110,52 @@ class CodecError(ValueError):
     """A batch buffer that does not parse (truncated / wrong magic)."""
 
 
-def encode_record_batch(items: Sequence[Tuple[int, Record]]) -> bytes:
-    """Pack ``(op, record)`` pairs into one contiguous buffer."""
+#: Shared-memory frame descriptor — the whole payload of a
+#: ``TAG_SHM_FRAME`` / ``TAG_SHM_MATCHES`` control message. ``channel``
+#: is the logical shard id for record frames and the worker id for
+#: match frames; ``advance`` is ``length`` plus any wrap padding the
+#: producer skipped (the amount the consumer must release);
+#: ``generation`` is a per-ring monotonic frame counter so a desynced
+#: ring surfaces as a pointed error instead of silent corruption.
+_SHM_DESC = struct.Struct("<IIIII")
+
+#: Whole descriptor frame size including the tag byte (21 bytes — the
+#: entire per-batch pipe traffic under ``--transport shm``).
+SHM_DESCRIPTOR_BYTES = 1 + _SHM_DESC.size
+
+
+def encode_shm_descriptor(
+    tag: int, channel: int, offset: int, length: int, advance: int,
+    generation: int,
+) -> bytes:
+    """Pack one ring-frame descriptor into a tagged control message."""
+    return bytes([tag]) + _SHM_DESC.pack(
+        channel, offset, length, advance, generation
+    )
+
+
+def decode_shm_descriptor(data: bytes) -> Tuple[int, int, int, int, int]:
+    """Inverse of :func:`encode_shm_descriptor`, tag byte excluded:
+    returns ``(channel, offset, length, advance, generation)``."""
+    if len(data) != _SHM_DESC.size:
+        raise CodecError(
+            f"shm descriptor is {len(data)} bytes, "
+            f"expected {_SHM_DESC.size}"
+        )
+    return _SHM_DESC.unpack(data)
+
+
+def record_batch_parts(
+    items: Sequence[Tuple[int, Record]]
+) -> List[bytes]:
+    """Column slices of one record batch, in wire order.
+
+    The parts sum to exactly :func:`encode_record_batch`'s output; the
+    split form exists so transports can place the bytes themselves —
+    the shm driver writes the slices straight into a claimed ring
+    region and :class:`BatchEncoder` copies them into a reused scratch
+    buffer, neither ever materialising the joined intermediate.
+    """
     ops = array("B")
     rids = array("q")
     sizes = array("i")
@@ -148,11 +203,61 @@ def encode_record_batch(items: Sequence[Tuple[int, Record]]) -> bytes:
             parts.append(_U16.pack(len(blob)))
             parts.append(blob)
         parts.append(source_index.tobytes())
-    return b"".join(parts)
+    return parts
 
 
-def decode_record_batch(data: bytes) -> List[Tuple[int, Record]]:
-    """Inverse of :func:`encode_record_batch`."""
+def encode_record_batch(items: Sequence[Tuple[int, Record]]) -> bytes:
+    """Pack ``(op, record)`` pairs into one contiguous buffer."""
+    return b"".join(record_batch_parts(items))
+
+
+class BatchEncoder:
+    """Scratch-buffer encoder for the pipe transport's hot path.
+
+    ``encode_record_batch`` allocates a fresh joined buffer per batch;
+    at bench scale that is one short-lived multi-KB allocation per
+    ~dozen records, all of it garbage the moment ``send_bytes``
+    returns. This encoder keeps one growable ``bytearray`` alive for
+    the whole feed and hands out a ``memoryview`` window over it —
+    ``Connection.send_bytes`` accepts any buffer, so the per-batch
+    allocation disappears from the ``encode`` phase entirely. The view
+    is only valid until the next :meth:`encode` call (fine: the driver
+    sends each batch before building the next).
+    """
+
+    __slots__ = ("_scratch",)
+
+    def __init__(self, capacity: int = 1 << 16):
+        self._scratch = bytearray(capacity)
+
+    def encode(self, prefix: bytes, items: Sequence[Tuple[int, Record]]):
+        """Encode ``prefix`` + the record batch into the scratch buffer;
+        returns a ``memoryview`` of exactly the encoded bytes."""
+        parts = record_batch_parts(items)
+        total = len(prefix) + sum(len(part) for part in parts)
+        scratch = self._scratch
+        if total > len(scratch):
+            # Grow geometrically and keep the larger buffer for reuse.
+            self._scratch = scratch = bytearray(
+                max(total, 2 * len(scratch))
+            )
+        scratch[: len(prefix)] = prefix
+        cursor = len(prefix)
+        for part in parts:
+            end = cursor + len(part)
+            scratch[cursor:end] = part
+            cursor = end
+        return memoryview(scratch)[:total]
+
+
+def decode_record_batch(data) -> List[Tuple[int, Record]]:
+    """Inverse of :func:`encode_record_batch`.
+
+    ``data`` may be any bytes-like buffer — the shm transport passes a
+    ``memoryview`` straight over the ring segment, so decoding copies
+    each column exactly once (buffer → typed array) with no
+    intermediate joined bytes object.
+    """
     if len(data) < _HEADER.size:
         raise CodecError(f"record batch truncated: {len(data)} bytes")
     magic, version, flags, n_records, n_tokens = _HEADER.unpack_from(data)
@@ -192,7 +297,8 @@ def decode_record_batch(data: bytes) -> List[Tuple[int, Record]]:
         for _ in range(n_sources):
             (blob_len,) = _U16.unpack_from(data, offset)
             offset += _U16.size
-            table.append(data[offset : offset + blob_len].decode("utf-8"))
+            # bytes() tolerates memoryview input (it has no .decode).
+            table.append(bytes(data[offset : offset + blob_len]).decode("utf-8"))
             offset += blob_len
         index = column("h", n_records)
         sources = [table[slot] for slot in index]
@@ -229,8 +335,9 @@ def decode_record_batch(data: bytes) -> List[Tuple[int, Record]]:
 MatchRow = Tuple[float, int, int, int, float]
 
 
-def encode_match_batch(rows: Sequence[MatchRow]) -> bytes:
-    """Pack ``(timestamp, rid_a, rid_b, overlap, similarity)`` rows."""
+def match_batch_parts(rows: Sequence[MatchRow]) -> List[bytes]:
+    """Column slices of one match batch, in wire order (same contract
+    as :func:`record_batch_parts`: transports place the bytes)."""
     stamps = array("d")
     rid_a = array("q")
     rid_b = array("q")
@@ -242,20 +349,24 @@ def encode_match_batch(rows: Sequence[MatchRow]) -> bytes:
         rid_b.append(b)
         overlap.append(ov)
         similarity.append(sim)
-    return b"".join(
-        (
-            _U32.pack(len(stamps)),
-            stamps.tobytes(),
-            rid_a.tobytes(),
-            rid_b.tobytes(),
-            overlap.tobytes(),
-            similarity.tobytes(),
-        )
-    )
+    return [
+        _U32.pack(len(stamps)),
+        stamps.tobytes(),
+        rid_a.tobytes(),
+        rid_b.tobytes(),
+        overlap.tobytes(),
+        similarity.tobytes(),
+    ]
 
 
-def decode_match_batch(data: bytes) -> List[MatchRow]:
-    """Inverse of :func:`encode_match_batch`."""
+def encode_match_batch(rows: Sequence[MatchRow]) -> bytes:
+    """Pack ``(timestamp, rid_a, rid_b, overlap, similarity)`` rows."""
+    return b"".join(match_batch_parts(rows))
+
+
+def decode_match_batch(data) -> List[MatchRow]:
+    """Inverse of :func:`encode_match_batch` (any bytes-like buffer —
+    the driver decodes mirror-ring frames as ``memoryview``s)."""
     if len(data) < _U32.size:
         raise CodecError(f"match batch truncated: {len(data)} bytes")
     (n,) = _U32.unpack_from(data)
@@ -415,15 +526,19 @@ HEARTBEAT_FLAG_FINAL = 1
 #: The per-phase busy seconds carried by a heartbeat, in wire order —
 #: must equal :data:`repro.obs.spans.WORKER_PHASES` (asserted by the
 #: tests; not imported here to keep the codec dependency-free).
-HEARTBEAT_PHASES = ("pipe_read", "decode", "probe", "insert", "meter_flush")
+#: ``shm_read`` is the worker's descriptor-wait + mapped-read phase
+#: under ``--transport shm`` (zero on pipe runs, and vice versa).
+HEARTBEAT_PHASES = (
+    "pipe_read", "decode", "probe", "insert", "meter_flush", "shm_read",
+)
 
 #: magic u16 | version u8 | flags u8 | worker u32 | seq u32 |
 #: uptime f64 | mono f64 | batches/records/matches/live_postings u64 |
 #: busy/blocked f64 | bytes_in/bytes_out u64 | rss_bytes u64 |
-#: dropped u64 | 5 x phase seconds f64.
-_HEARTBEAT = struct.Struct("<HBBIIddQQQQddQQQQ5d")
+#: dropped u64 | 6 x phase seconds f64.
+_HEARTBEAT = struct.Struct("<HBBIIddQQQQddQQQQ6d")
 
-#: Whole-frame size including the leading tag byte. 149 bytes — far
+#: Whole-frame size including the leading tag byte. 157 bytes — far
 #: below POSIX ``PIPE_BUF`` (>= 512), so a non-blocking pipe write of
 #: one frame is atomic: it lands whole or raises ``EAGAIN``.
 HEARTBEAT_FRAME_BYTES = 1 + _HEARTBEAT.size
@@ -499,5 +614,5 @@ def decode_heartbeat(data: bytes) -> dict:
         "bytes_out": bytes_out,
         "rss_bytes": rss_bytes,
         "dropped": dropped,
-        "phase_s": dict(zip(HEARTBEAT_PHASES, fields[17:22])),
+        "phase_s": dict(zip(HEARTBEAT_PHASES, fields[17:23])),
     }

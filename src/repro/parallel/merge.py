@@ -218,10 +218,12 @@ def worker_health(
 
     Two wall-clock detectors join in for process runs: pipe
     backpressure (the fraction of the driver's feed phase spent in
-    blocked ``pipe_write`` spans — needs spans enabled) and worker
+    blocked ``pipe_write`` spans — ``shm_write`` under the shm
+    transport, where the blocked time is a credit wait on a full ring
+    rather than a full pipe; needs spans enabled) and worker
     starvation (each worker's blocked-read seconds over its lifetime —
-    the ``pipe_read`` aggregate, carried in the summary telemetry, so
-    it fires even without spans).
+    the ``pipe_read``/``shm_read`` aggregate, carried in the summary
+    telemetry, so it fires even without spans).
     """
     monitor = HealthMonitor(thresholds)
     if result.span_rows:
@@ -229,7 +231,7 @@ def worker_health(
         for row in result.span_rows:
             if row["worker"] != DRIVER:
                 continue
-            if row["phase"] == "pipe_write":
+            if row["phase"] in ("pipe_write", "shm_write"):
                 write_s += row["end"] - row["start"]
             elif row["phase"] == "feed":
                 feed_s += row["end"] - row["start"]

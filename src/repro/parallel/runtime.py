@@ -33,6 +33,7 @@ Three executors:
 
 from __future__ import annotations
 
+import atexit
 import math
 import pickle
 import struct
@@ -74,18 +75,24 @@ from repro.parallel.codec import (
     TAG_ERROR,
     TAG_HEARTBEAT,
     TAG_MATCHES,
+    TAG_SHM_FRAME,
+    TAG_SHM_MATCHES,
     TAG_SPANS,
     TAG_TRACE,
+    BatchEncoder,
     MatchRow,
     decode_heartbeat,
     decode_match_batch,
     decode_record_batch,
+    decode_shm_descriptor,
     decode_span_frame,
     decode_trace_frame,
     encode_heartbeat,
     encode_record_batch,
+    encode_shm_descriptor,
     encode_span_frame,
     encode_trace_frame,
+    record_batch_parts,
 )
 from repro.parallel.merge import (
     merge_matches,
@@ -96,6 +103,13 @@ from repro.parallel.merge import (
     worker_timeline,
 )
 from repro.parallel.planner import ShardPlan, plan_shards
+from repro.parallel.shm import (
+    DEFAULT_RING_BYTES,
+    MIN_RING_BYTES,
+    RingBuffer,
+    ShmRing,
+    shm_supported,
+)
 from repro.parallel.worker import (
     ShardWorker,
     build_shard_engine,
@@ -110,6 +124,7 @@ _SETUP = PHASE_ID["setup"]
 _FEED = PHASE_ID["feed"]
 _ENCODE = PHASE_ID["encode"]
 _PIPE_WRITE = PHASE_ID["pipe_write"]
+_SHM_WRITE = PHASE_ID["shm_write"]
 _DRAIN = PHASE_ID["drain"]
 _MERGE = PHASE_ID["merge"]
 _DECODE = PHASE_ID["decode"]
@@ -120,6 +135,21 @@ _EV_PIPE_WRITE = EVENT_ID["pipe_write"]
 _EV_DECODE = EVENT_ID["decode"]
 
 EXECUTORS = ("process", "inline")
+#: Batch transports: ``pipe`` ships whole frames through the result
+#: pipe (the struct codec); ``shm`` ships the same column bytes through
+#: per-worker shared-memory rings and only 21-byte descriptors through
+#: the pipe (see :mod:`repro.parallel.shm`). ``"auto"`` is accepted by
+#: the runner and resolves to shm for the process executor when the
+#: platform supports it.
+TRANSPORTS = ("pipe", "shm")
+
+
+def _unlink_rings(channels) -> None:
+    """The atexit backstop (and ``finally`` body): unlink every ring
+    segment of one run. Idempotent — double unlinking is a no-op."""
+    for pair in channels:
+        for ring in pair:
+            ring.unlink()
 
 
 class ParallelWorkerError(RuntimeError):
@@ -151,6 +181,9 @@ class ParallelJoinResult:
     #: Driver-observed routing fanout: ``{"total", "count", "peak"}``
     #: of the per-record reached-shards fraction.
     routing_fanout: Dict[str, float] = field(repr=False)
+    #: Batch transport the run used (``"pipe"`` or ``"shm"``) — purely
+    #: a mechanism label: every observable above is transport-invariant.
+    transport: str = "pipe"
     #: Monotonic clock value at run start (base for worker intervals).
     started: float = 0.0
     wall_s: float = 0.0
@@ -317,6 +350,16 @@ class ParallelJoinRunner:
     set is a pure function of rid, so it is identical across worker
     counts, batch sizes and executors; like spans and telemetry,
     tracing never changes an observable.
+
+    ``transport`` picks how batch bytes reach the workers: ``"pipe"``
+    (the struct codec over the result pipe — the default and the
+    universal fallback), ``"shm"`` (per-worker shared-memory rings with
+    descriptor-only pipe traffic — see :mod:`repro.parallel.shm`), or
+    ``"auto"`` (shm for the process executor when the platform supports
+    it). ``ring_bytes`` sizes each ring's data region; batches that
+    cannot fit a ring fall back to pipe frames transparently. The
+    transport is pure mechanism: observables are bit-identical across
+    transports, which the differential grid asserts.
     """
 
     def __init__(
@@ -334,6 +377,8 @@ class ParallelJoinRunner:
         heartbeat_interval: Optional[float] = None,
         trace: bool = False,
         trace_sample: int = DEFAULT_TRACE_SAMPLE,
+        transport: str = "pipe",
+        ring_bytes: int = DEFAULT_RING_BYTES,
     ):
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -341,6 +386,30 @@ class ParallelJoinRunner:
             raise ValueError(
                 f"executor must be one of {EXECUTORS}, got {executor!r}"
             )
+        if transport != "auto" and transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be 'auto' or one of {TRANSPORTS}, "
+                f"got {transport!r}"
+            )
+        if ring_bytes < MIN_RING_BYTES:
+            raise ValueError(
+                f"ring_bytes must be >= {MIN_RING_BYTES}, got {ring_bytes}"
+            )
+        if transport == "auto":
+            # Only the process executor has real segments to gain from;
+            # inline defaults to the pipe codec round-trip.
+            transport = (
+                "shm"
+                if executor == "process" and shm_supported()[0]
+                else "pipe"
+            )
+        elif transport == "shm" and executor == "process":
+            ok, reason = shm_supported()
+            if not ok:
+                raise ValueError(
+                    f"shm transport is unsupported on this platform "
+                    f"({reason}); use transport='pipe'"
+                )
         if batch_size is None:
             batch_size = config.batch_size
         elif batch_size < 1:
@@ -377,6 +446,11 @@ class ParallelJoinRunner:
         )
         self.trace = bool(trace)
         self.trace_sample = trace_sample
+        self.transport = transport
+        self.ring_bytes = ring_bytes
+        #: Segment names of the most recent shm run (empty otherwise) —
+        #: the leak tests assert these are unattachable afterwards.
+        self.shm_segment_names: List[str] = []
 
     # -- execution -----------------------------------------------------------
     def run(self, stream) -> ParallelJoinResult:
@@ -410,6 +484,7 @@ class ParallelJoinRunner:
                 interval=self.heartbeat_interval,
                 base=started,
                 out_path=self.telemetry_out,
+                transport=self.transport,
             )
             if self.telemetry
             else None
@@ -478,10 +553,26 @@ class ParallelJoinRunner:
         interval = self.heartbeat_interval
         monotonic = time.monotonic
         ctx = mp.get_context(self.start_method)
+        use_shm = self.transport == "shm"
         conns = []
         procs = []
         hb_conns = []
+        #: Per-worker ``(batch ShmRing, mirror ShmRing)`` — created (and
+        #: therefore unlinked) by the driver, before the workers that
+        #: attach by name exist.
+        channels: List[Tuple[ShmRing, ShmRing]] = []
+        self.shm_segment_names = []
+        if use_shm:
+            # Backstop first, segments second: whatever gets created is
+            # already covered if the process dies mid-setup. The happy
+            # path unlinks in the ``finally`` below and unregisters.
+            atexit.register(_unlink_rings, channels)
         try:
+            if use_shm:
+                for w in range(workers):
+                    pair = (ShmRing(self.ring_bytes), ShmRing(self.ring_bytes))
+                    channels.append(pair)
+                    self.shm_segment_names.extend(seg.name for seg in pair)
             for w in range(workers):
                 parent, child = ctx.Pipe(duplex=True)
                 hb_send = None
@@ -498,6 +589,9 @@ class ParallelJoinRunner:
                         plan.num_shards, spans_sample,
                         hb_send, interval if telemetry is not None else 0.0,
                         trace_sample,
+                        self.transport,
+                        channels[w][0].name if use_shm else None,
+                        channels[w][1].name if use_shm else None,
                     ),
                     daemon=True,
                 )
@@ -527,8 +621,8 @@ class ParallelJoinRunner:
                             telemetry.on_heartbeat(decode_heartbeat(msg))
 
             #: Per-shard batch sequence (the deterministic sampling key
-            #: for the driver's encode/pipe_write spans — it mirrors
-            #: the worker-side counter by construction: both sides see
+            #: for the driver's encode/write spans — it mirrors the
+            #: worker-side counter by construction: both sides see
             #: each shard's batches in the same order).
             batch_seq: Dict[int, int] = {}
             track = telemetry is not None
@@ -538,13 +632,73 @@ class ParallelJoinRunner:
                 "encode_s": 0.0, "write_s": 0.0,
                 "feed_t0": 0.0, "next": monotonic() + interval,
             }
+            #: One tag+shard prefix and one scratch buffer for the whole
+            #: feed: the pipe path allocates nothing per batch beyond
+            #: the codec's own column slices.
+            prefixes = [
+                bytes([TAG_BATCH]) + _U32.pack(shard)
+                for shard in range(plan.num_shards)
+            ]
+            encoder = BatchEncoder()
+            #: Per-worker generation counters: frames the driver
+            #: published (in) and mirror frames it consumed (out).
+            generations = [0] * workers
+            drain_generations = [0] * workers
 
-            def send(shard: int, items) -> None:
+            def driver_stats(feed_s: float) -> dict:
+                stats = {
+                    "records_routed": tstate["records"],
+                    "batches_sent": tstate["batches"],
+                    "bytes_out": tstate["bytes"],
+                    "feed_s": feed_s,
+                    "encode_s": tstate["encode_s"],
+                    "pipe_write_s": 0.0 if use_shm else tstate["write_s"],
+                }
+                if use_shm:
+                    stats["shm_write_s"] = tstate["write_s"]
+                    stats["ring_occupancy"] = max(
+                        pair[0].ring.occupancy() for pair in channels
+                    )
+                return stats
+
+            def worker_died(w: int) -> ParallelWorkerError:
+                """Surface a worker's death during the feed: prefer its
+                own TAG_ERROR traceback if one is buffered."""
+                conn = conns[w]
+                try:
+                    if conn.poll(0):
+                        msg = conn.recv_bytes()
+                        if msg and msg[0] == TAG_ERROR:
+                            return ParallelWorkerError(pickle.loads(msg[1:]))
+                except (EOFError, OSError):
+                    pass
+                return ParallelWorkerError(
+                    f"worker {w} died mid-feed (pipe closed before EOF)"
+                )
+
+            def wait_claim(w: int, ring: RingBuffer, length: int):
+                """Credit wait: sleep-poll the consumer's tail counter.
+                The worker releases every frame right after decoding it
+                and sends nothing before EOF, so the wait is bounded —
+                unless the worker died, which the periodic liveness
+                check turns into a pointed error instead of a hang."""
+                claim = ring.try_claim(length)
+                polls = 0
+                while claim is None:
+                    if track:
+                        pump()
+                    time.sleep(0.0002)
+                    polls += 1
+                    if polls % 64 == 0:
+                        if conns[w].poll(0) or not procs[w].is_alive():
+                            raise worker_died(w)
+                    claim = ring.try_claim(length)
+                return claim
+
+            def send_pipe(shard: int, items) -> None:
                 if spans is None and not track and tracer is None:
                     conns[shard % workers].send_bytes(
-                        bytes([TAG_BATCH])
-                        + _U32.pack(shard)
-                        + encode_record_batch(items)
+                        encoder.encode(prefixes[shard], items)
                     )
                     return
                 seq = batch_seq.get(shard, 0)
@@ -557,17 +711,11 @@ class ParallelJoinRunner:
                 )
                 if not keep and not track and not traced_rids:
                     conns[shard % workers].send_bytes(
-                        bytes([TAG_BATCH])
-                        + _U32.pack(shard)
-                        + encode_record_batch(items)
+                        encoder.encode(prefixes[shard], items)
                     )
                     return
                 t0 = monotonic()
-                frame = (
-                    bytes([TAG_BATCH])
-                    + _U32.pack(shard)
-                    + encode_record_batch(items)
-                )
+                frame = encoder.encode(prefixes[shard], items)
                 t1 = monotonic()
                 conns[shard % workers].send_bytes(frame)
                 t2 = monotonic()
@@ -590,16 +738,81 @@ class ParallelJoinRunner:
                         tstate["next"] = t2 + interval
                         pump()
                         telemetry.driver_tick(
-                            {
-                                "records_routed": tstate["records"],
-                                "batches_sent": tstate["batches"],
-                                "bytes_out": tstate["bytes"],
-                                "feed_s": t2 - tstate["feed_t0"],
-                                "encode_s": tstate["encode_s"],
-                                "pipe_write_s": tstate["write_s"],
-                            }
+                            driver_stats(t2 - tstate["feed_t0"])
                         )
 
+            def send_shm(shard: int, items) -> None:
+                w = shard % workers
+                seq = batch_seq.get(shard, 0)
+                batch_seq[shard] = seq + 1
+                keep = spans is not None and spans.keep(seq)
+                traced_rids = (
+                    [r.rid for _op, r in items if not r.rid % stride]
+                    if stride
+                    else None
+                )
+                timed = keep or track or bool(traced_rids)
+                if timed:
+                    t0 = monotonic()
+                parts = record_batch_parts(items)
+                total = sum(len(part) for part in parts)
+                if timed:
+                    t1 = monotonic()
+                ring = channels[w][0].ring
+                claim = ring.try_claim(total)
+                if claim is None and not ring.claimable(total):
+                    # A batch too large for the ring (or un-claimable at
+                    # this wrap offset): per-frame pipe-codec fallback.
+                    frame = bytearray(prefixes[shard])
+                    for part in parts:
+                        frame += part
+                    sent = len(frame)
+                    try:
+                        conns[w].send_bytes(frame)
+                    except OSError:
+                        raise worker_died(w) from None
+                else:
+                    if claim is None:
+                        claim = wait_claim(w, ring, total)
+                    offset, advance = claim
+                    ring.write(offset, parts)
+                    ring.publish(advance)
+                    descriptor = encode_shm_descriptor(
+                        TAG_SHM_FRAME, shard, offset, total, advance,
+                        generations[w],
+                    )
+                    generations[w] += 1
+                    sent = len(descriptor) + total
+                    try:
+                        conns[w].send_bytes(descriptor)
+                    except OSError:
+                        raise worker_died(w) from None
+                if timed:
+                    t2 = monotonic()
+                if keep:
+                    spans.record(_ENCODE, t0, t1, shard, seq)
+                    spans.record(_SHM_WRITE, t1, t2, shard, seq)
+                if traced_rids:
+                    # The trace event vocabulary is transport-neutral:
+                    # pipe_write is "the transport publish window",
+                    # here the ring copy + descriptor send.
+                    for rid in traced_rids:
+                        tracer.record(_EV_ENCODE, rid, t0, t1, shard)
+                        tracer.record(_EV_PIPE_WRITE, rid, t1, t2, shard)
+                if track:
+                    tstate["encode_s"] += t1 - t0
+                    tstate["write_s"] += t2 - t1
+                    tstate["batches"] += 1
+                    tstate["records"] += len(items)
+                    tstate["bytes"] += sent
+                    if t2 >= tstate["next"]:
+                        tstate["next"] = t2 + interval
+                        pump()
+                        telemetry.driver_tick(
+                            driver_stats(t2 - tstate["feed_t0"])
+                        )
+
+            send = send_shm if use_shm else send_pipe
             t_feed = monotonic()
             tstate["feed_t0"] = t_feed
             self._fanout = self._feed(plan, records, send)
@@ -610,20 +823,14 @@ class ParallelJoinRunner:
                 # telemetry artefact carries at least one driver tick.
                 t_now = monotonic()
                 pump()
-                telemetry.driver_tick(
-                    {
-                        "records_routed": tstate["records"],
-                        "batches_sent": tstate["batches"],
-                        "bytes_out": tstate["bytes"],
-                        "feed_s": t_now - t_feed,
-                        "encode_s": tstate["encode_s"],
-                        "pipe_write_s": tstate["write_s"],
-                    }
-                )
+                telemetry.driver_tick(driver_stats(t_now - t_feed))
 
             t_drain = monotonic()
-            for conn in conns:
-                conn.send_bytes(bytes([TAG_EOF]))
+            for w, conn in enumerate(conns):
+                try:
+                    conn.send_bytes(bytes([TAG_EOF]))
+                except OSError:
+                    raise worker_died(w) from None
 
             chunks: List[List[MatchRow]] = []
             summaries = []
@@ -645,6 +852,25 @@ class ParallelJoinRunner:
                     tag = msg[0]
                     if tag == TAG_MATCHES:
                         rows.extend(decode_match_batch(msg[1:]))
+                    elif tag == TAG_SHM_MATCHES:
+                        _, offset, length, advance, generation = (
+                            decode_shm_descriptor(msg[1:])
+                        )
+                        if generation != drain_generations[w]:
+                            raise ParallelWorkerError(
+                                f"worker {w} mirror ring desynced: frame "
+                                f"generation {generation}, expected "
+                                f"{drain_generations[w]}"
+                            )
+                        drain_generations[w] += 1
+                        ring = channels[w][1].ring
+                        # decode copies the columns out; releasing right
+                        # after returns the credit a blocked worker may
+                        # be waiting on.
+                        rows.extend(
+                            decode_match_batch(ring.view(offset, length))
+                        )
+                        ring.release(advance)
                     elif tag == TAG_SPANS:
                         self._worker_span_cols[w] = decode_span_frame(msg[1:])
                     elif tag == TAG_TRACE:
@@ -678,6 +904,13 @@ class ParallelJoinRunner:
                 if proc.is_alive():
                     proc.terminate()
                     proc.join()
+            if use_shm:
+                # Unlink after the workers are gone, on every exit path
+                # — normal return, worker crash, KeyboardInterrupt —
+                # then retire the atexit backstop (unlink is idempotent,
+                # but a later run re-registers a fresh channel list).
+                _unlink_rings(channels)
+                atexit.unregister(_unlink_rings)
 
     def _run_inline(self, plan, records, workers, assignment):
         spans = self._driver_spans
@@ -722,11 +955,43 @@ class ParallelJoinRunner:
             telemetry.on_heartbeat(decode_heartbeat(frame))
 
         batch_seq: Dict[int, int] = {}
+        use_shm = self.transport == "shm"
+        #: Inline rings are plain ``bytearray``-backed — the identical
+        #: claim/publish/release protocol with no real segments, which
+        #: is what lets the differential grid cover ring wraparound
+        #: deterministically on any platform, processes or not.
+        rings = (
+            [RingBuffer.local(self.ring_bytes) for _ in range(workers)]
+            if use_shm
+            else None
+        )
+
+        def materialize(worker: ShardWorker, items):
+            """Produce the decode buffer for one batch: a pipe-codec
+            bytes object, or a zero-copy ring view (published then
+            immediately consumed — the inline executor is both ends of
+            the ring, so wraparound happens and credits always clear).
+            Returns ``(payload, advance, ring)``; a non-zero advance
+            must be released after decode."""
+            if not use_shm:
+                return encode_record_batch(items), 0, None
+            ring = rings[worker.worker]
+            parts = record_batch_parts(items)
+            total = sum(len(part) for part in parts)
+            claim = ring.try_claim(total)
+            if claim is None:
+                # Un-claimable (frame ~ring-sized): pipe-codec fallback,
+                # same as the process executor.
+                return b"".join(parts), 0, None
+            offset, advance = claim
+            ring.write(offset, parts)
+            ring.publish(advance)
+            return ring.view(offset, total), advance, ring
 
         def send(shard: int, items) -> None:
             # Round-trip through the codec so inline runs exercise the
             # exact wire path (and records arrive re-materialized, as
-            # they would from a pipe).
+            # they would from a pipe or a ring).
             worker = pool[shard % workers]
             traced_rids = (
                 [r.rid for _op, r in items if not r.rid % trace_sample]
@@ -740,7 +1005,7 @@ class ParallelJoinRunner:
                 keep = spans.keep(seq)
             if keep or traced_rids:
                 t0 = monotonic()
-                payload = encode_record_batch(items)
+                payload, advance, ring = materialize(worker, items)
                 t1 = monotonic()
                 if keep:
                     spans.record(_ENCODE, t0, t1, shard, seq)
@@ -748,7 +1013,7 @@ class ParallelJoinRunner:
                     for rid in traced_rids:
                         tracer.record(_EV_ENCODE, rid, t0, t1, shard)
             else:
-                payload = encode_record_batch(items)
+                payload, advance, ring = materialize(worker, items)
             worker.bytes_in += len(payload)
             span_decode = worker.will_sample(shard)
             if span_decode or traced_rids:
@@ -767,6 +1032,8 @@ class ParallelJoinRunner:
                         wtracer.record(_EV_DECODE, rid, t0, t1, shard)
             else:
                 decoded = decode_record_batch(payload)
+            if advance:
+                ring.release(advance)
             worker.process_batch(shard, decoded)
             if telemetry is not None and monotonic() >= hb_next[worker.worker]:
                 emit_heartbeat(worker)
@@ -871,6 +1138,7 @@ class ParallelJoinRunner:
                 "schema": SPANS_SCHEMA_VERSION,
                 "wall_s": round(wall_s, 9),
                 "executor": self.executor,
+                "transport": self.transport,
                 "workers": workers,
                 "shards": plan.num_shards,
                 "batch_size": self.batch_size,
@@ -910,6 +1178,7 @@ class ParallelJoinRunner:
                 "schema": RECTRACE_SCHEMA_VERSION,
                 "wall_s": round(wall_s, 9),
                 "executor": self.executor,
+                "transport": self.transport,
                 "workers": workers,
                 "shards": plan.num_shards,
                 "batch_size": self.batch_size,
@@ -933,6 +1202,7 @@ class ParallelJoinRunner:
             shard_meters=shard_meters,
             worker_stats=worker_stats,
             routing_fanout=fanout,
+            transport=self.transport,
             started=started,
             wall_s=wall_s,
             span_header=span_header,

@@ -12,20 +12,33 @@ Wire protocol (one :func:`multiprocessing.Pipe` per worker, message =
 one ``send_bytes`` frame, first byte = tag, tags defined in
 :mod:`repro.parallel.codec`):
 
-    driver → worker   TAG_BATCH  u32 shard + record batch (codec)
-                      TAG_EOF    (empty)
-    worker → driver   TAG_MATCHES  match batch (codec), repeated
-                      TAG_SPANS    span frame (codec), iff spans on
-                      TAG_TRACE    record-trace frame (codec), iff tracing
-                      TAG_DONE     pickled summary dict
-                      TAG_ERROR    pickled traceback string
+    driver → worker   TAG_BATCH      u32 shard + record batch (codec)
+                      TAG_SHM_FRAME  ring descriptor (shm transport)
+                      TAG_EOF        (empty)
+    worker → driver   TAG_MATCHES      match batch (codec), repeated
+                      TAG_SHM_MATCHES  mirror-ring descriptor (shm)
+                      TAG_SPANS        span frame (codec), iff spans on
+                      TAG_TRACE        record-trace frame, iff tracing
+                      TAG_DONE         pickled summary dict
+                      TAG_ERROR        pickled traceback string
+
+Under ``--transport shm`` (:mod:`repro.parallel.shm`) the batch bytes
+live in a driver-owned shared-memory ring the worker mapped once at
+startup: ``TAG_SHM_FRAME`` names a frame in that ring, the worker
+decodes it as a zero-copy ``memoryview`` and releases the bytes back
+to the driver's credit immediately after decode. Match rows return
+through a mirror ring the same way (``TAG_SHM_MATCHES``), with the
+struct-codec pipe frames kept as the per-frame fallback for batches
+larger than a ring. The worker only ever *attaches* to the segments —
+cleanup (unlink) belongs exclusively to the driver.
 
 Deadlock freedom: workers send **nothing** until they receive EOF —
 matches (and spans) accumulate locally — so while the driver is
 feeding batches its reads can't be required to unblock anyone; after
 it sends EOF to every worker it switches to draining, and workers
-blocked writing a large match chunk proceed as soon as their turn is
-read.
+blocked writing a large match chunk (or waiting for mirror-ring
+credits, which the draining driver replenishes as it consumes)
+proceed as soon as their turn is read.
 
 Live telemetry rides a *separate* one-way heartbeat pipe per worker
 so the argument above is untouched: :class:`HeartbeatEmitter` writes
@@ -79,16 +92,22 @@ from repro.parallel.codec import (
     TAG_ERROR,
     TAG_HEARTBEAT,
     TAG_MATCHES,
+    TAG_SHM_FRAME,
+    TAG_SHM_MATCHES,
     TAG_SPANS,
     TAG_TRACE,
     HEARTBEAT_PHASES,
     MatchRow,
     decode_record_batch,
+    decode_shm_descriptor,
     encode_heartbeat,
     encode_match_batch,
+    encode_shm_descriptor,
     encode_span_frame,
     encode_trace_frame,
+    match_batch_parts,
 )
+from repro.parallel.shm import attach_ring
 from repro.records import Record
 from repro.routing.prefix_router import token_owner
 from repro.similarity.functions import SimilarityFunction, get_similarity
@@ -96,7 +115,8 @@ from repro.streams.window import SlidingWindow
 
 __all__ = [
     "TAG_BATCH", "TAG_EOF", "TAG_MATCHES", "TAG_DONE", "TAG_SPANS",
-    "TAG_HEARTBEAT", "TAG_TRACE", "TAG_ERROR",
+    "TAG_HEARTBEAT", "TAG_TRACE", "TAG_SHM_FRAME", "TAG_SHM_MATCHES",
+    "TAG_ERROR",
     "MATCH_CHUNK", "peak_rss_bytes", "build_shard_engine",
     "ShardWorker", "HeartbeatEmitter", "worker_main",
 ]
@@ -107,6 +127,7 @@ MATCH_CHUNK = 16384
 _U32 = struct.Struct("<I")
 
 _PIPE_READ = PHASE_ID["pipe_read"]
+_SHM_READ = PHASE_ID["shm_read"]
 _DECODE = PHASE_ID["decode"]
 _PROBE_PHASE = PHASE_ID["probe"]
 _INSERT_PHASE = PHASE_ID["insert"]
@@ -504,6 +525,56 @@ class HeartbeatEmitter:
         return self.emit(worker.telemetry_snapshot())
 
 
+def emit_matches_shm(conn, ring, rows: Sequence[MatchRow], worker_id: int) -> int:
+    """Ship match rows through the mirror ring, one ``MATCH_CHUNK``
+    frame at a time; returns the data-plane bytes sent (ring payload
+    plus descriptors).
+
+    Runs strictly post-EOF, when the driver is draining: a full ring
+    only means the driver has not yet consumed earlier frames, and its
+    drain loop releases them in order, so the credit wait here is
+    bounded. A chunk larger than the whole ring falls back to a plain
+    ``TAG_MATCHES`` pipe frame — the protocol, not the segment size,
+    is the invariant.
+    """
+    sent = 0
+    generation = 0
+    # Chunk by ring size as well as row count: keeping each frame under
+    # a quarter of the ring means several frames are in flight while
+    # the driver drains, and no frame ever needs the pipe fallback for
+    # being un-claimable at an awkward wrap offset (40 bytes/row).
+    chunk = min(MATCH_CHUNK, max(1, (ring.capacity // 4) // 40))
+    for i in range(0, len(rows), chunk):
+        parts = match_batch_parts(rows[i : i + chunk])
+        total = sum(len(part) for part in parts)
+        claim = ring.try_claim(total)
+        if claim is None and not ring.claimable(total):
+            frame = bytes([TAG_MATCHES]) + b"".join(parts)
+            conn.send_bytes(frame)
+            sent += len(frame)
+            continue
+        while claim is None:
+            time.sleep(0.0005)
+            if conn.poll(0):
+                # The driver sends nothing after EOF — a readable pipe
+                # here means it closed its end (died). Abort instead
+                # of waiting forever on credits nobody will grant.
+                raise RuntimeError(
+                    f"worker {worker_id}: driver vanished during match drain"
+                )
+            claim = ring.try_claim(total)
+        offset, advance = claim
+        ring.write(offset, parts)
+        ring.publish(advance)
+        descriptor = encode_shm_descriptor(
+            TAG_SHM_MATCHES, worker_id, offset, total, advance, generation
+        )
+        generation += 1
+        conn.send_bytes(descriptor)
+        sent += len(descriptor) + total
+    return sent
+
+
 def worker_main(
     conn,
     worker_id: int,
@@ -514,6 +585,9 @@ def worker_main(
     heartbeat=None,
     heartbeat_interval: float = 0.0,
     trace_sample: int = 0,
+    transport: str = "pipe",
+    shm_in: Optional[str] = None,
+    shm_out: Optional[str] = None,
 ) -> None:
     """Child-process entry point (module-level: spawn-context picklable).
 
@@ -527,10 +601,30 @@ def worker_main(
     re-derives the traced rid set from the stride alone (no trace
     context arrives on the wire), stamps decode/probe/insert/match-emit
     events, and ships them back post-EOF as one ``TAG_TRACE`` frame.
+
+    ``transport="shm"`` switches on the zero-copy path: ``shm_in`` /
+    ``shm_out`` name the driver-owned batch and mirror rings, mapped
+    once here (see :func:`repro.parallel.shm.attach_ring` for the
+    tracker discipline) then read/written for the whole run. The
+    blocked-wait span phase becomes ``shm_read`` so phase totals stay
+    comparable across transports.
     """
     born = time.monotonic()
     emitter = None
+    segments = []
+    ring_in = ring_out = None
     try:
+        if transport == "shm":
+            if shm_in is None or shm_out is None:
+                raise ValueError(
+                    f"worker {worker_id}: shm transport without segment names"
+                )
+            segment, ring_in = attach_ring(shm_in)
+            segments.append(segment)
+            segment, ring_out = attach_ring(shm_out)
+            segments.append(segment)
+        wait_phase = _SHM_READ if transport == "shm" else _PIPE_READ
+        expect_generation = 0
         worker = ShardWorker(
             config, shard_ids, num_shards,
             spans_sample=spans_sample, worker=worker_id,
@@ -551,12 +645,33 @@ def worker_main(
             worker.blocked_s += t_got - t_wait
             worker.bytes_in += len(msg)
             if spans is not None and spans.keep(frames):
-                spans.record(_PIPE_READ, t_wait, t_got, -1, frames)
+                spans.record(wait_phase, t_wait, t_got, -1, frames)
             frames += 1
             tag = msg[0]
-            if tag == TAG_BATCH:
-                (shard,) = _U32.unpack_from(msg, 1)
-                payload = msg[1 + _U32.size :]
+            if tag == TAG_BATCH or tag == TAG_SHM_FRAME:
+                advance = 0
+                if tag == TAG_BATCH:
+                    # Plain pipe frame — the default transport, and the
+                    # shm transport's oversized-batch fallback.
+                    (shard,) = _U32.unpack_from(msg, 1)
+                    payload = msg[1 + _U32.size :]
+                else:
+                    if ring_in is None:
+                        raise ValueError(
+                            f"worker {worker_id}: shm frame on pipe transport"
+                        )
+                    shard, offset, length, advance, generation = (
+                        decode_shm_descriptor(msg[1:])
+                    )
+                    if generation != expect_generation:
+                        raise ValueError(
+                            f"worker {worker_id}: shm frame generation "
+                            f"{generation}, expected {expect_generation} "
+                            f"(ring desynced)"
+                        )
+                    expect_generation += 1
+                    payload = ring_in.view(offset, length)
+                    worker.bytes_in += length
                 span_decode = spans is not None and worker.will_sample(shard)
                 if span_decode or tracer is not None:
                     seq = worker._batch_seq.get(shard, 0)
@@ -577,6 +692,11 @@ def worker_main(
                                 )
                 else:
                     items = decode_record_batch(payload)
+                if advance:
+                    # Decode fully copied the columns out of the ring;
+                    # hand the bytes back to the driver's credit before
+                    # the (potentially long) batch processing.
+                    ring_in.release(advance)
                 worker.process_batch(shard, items)
                 if emitter is not None:
                     emitter.maybe_emit(worker)
@@ -594,11 +714,18 @@ def worker_main(
                     summary["heartbeats"] = emitter.seq
                     summary["heartbeats_dropped"] = emitter.dropped
                 rows = worker.matches
-                out_frames = [
-                    bytes([TAG_MATCHES])
-                    + encode_match_batch(rows[i : i + MATCH_CHUNK])
-                    for i in range(0, len(rows), MATCH_CHUNK)
-                ]
+                match_bytes = 0
+                out_frames = []
+                if ring_out is None:
+                    out_frames = [
+                        bytes([TAG_MATCHES])
+                        + encode_match_batch(rows[i : i + MATCH_CHUNK])
+                        for i in range(0, len(rows), MATCH_CHUNK)
+                    ]
+                else:
+                    match_bytes = emit_matches_shm(
+                        conn, ring_out, rows, worker_id
+                    )
                 if spans is not None:
                     out_frames.append(
                         bytes([TAG_SPANS]) + encode_span_frame(*spans.columns())
@@ -608,10 +735,13 @@ def worker_main(
                         bytes([TAG_TRACE])
                         + encode_trace_frame(*tracer.columns())
                     )
-                # bytes_out counts the data plane (match + span frames);
-                # the pickled summary frame itself is excluded — it has
-                # to carry the final byte count.
-                summary["bytes_out"] = sum(len(f) for f in out_frames)
+                # bytes_out counts the data plane (match + span frames,
+                # or their ring payload + descriptors under shm); the
+                # pickled summary frame itself is excluded — it has to
+                # carry the final byte count.
+                summary["bytes_out"] = match_bytes + sum(
+                    len(f) for f in out_frames
+                )
                 for frame in out_frames:
                     conn.send_bytes(frame)
                 conn.send_bytes(bytes([TAG_DONE]) + pickle.dumps(summary))
@@ -629,6 +759,19 @@ def worker_main(
         except Exception:
             pass
     finally:
+        # Drop every live view into the rings before closing the
+        # mappings (SharedMemory refuses to close under live exports);
+        # never unlink — the driver owns segment lifetime.
+        payload = None  # noqa: F841 - may still hold the last frame view
+        for _ring in (ring_in, ring_out):
+            if _ring is not None:
+                _ring.detach()
+        ring_in = ring_out = None
+        for segment in segments:
+            try:
+                segment.close()
+            except (OSError, BufferError):
+                pass
         if heartbeat is not None:
             try:
                 heartbeat.close()

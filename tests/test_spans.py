@@ -207,12 +207,13 @@ class TestAnalyzerOnFixture:
         assert totals["driver"] == {
             "setup": 0.02, "feed": 0.023, "encode": 0.003,
             "pipe_write": 0.004, "drain": 0.045, "merge": 0.005,
+            "shm_write": 0.0,
         }
         assert totals["workers"] == {
             "0": {"pipe_read": 0.011, "decode": 0.001, "probe": 0.034,
-                  "insert": 0.01, "meter_flush": 0.001},
+                  "insert": 0.01, "meter_flush": 0.001, "shm_read": 0.0},
             "1": {"pipe_read": 0.024, "decode": 0.001, "probe": 0.045,
-                  "insert": 0.01, "meter_flush": 0.001},
+                  "insert": 0.01, "meter_flush": 0.001, "shm_read": 0.0},
         }
 
     def test_critical_path(self, rows):

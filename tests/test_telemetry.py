@@ -86,7 +86,7 @@ class TestHeartbeatCodec:
         assert sample["final"] is False
         assert sample["phase_s"] == {
             "pipe_read": 0.125, "decode": 0.0, "probe": 0.8,
-            "insert": 0.3, "meter_flush": 0.0,
+            "insert": 0.3, "meter_flush": 0.0, "shm_read": 0.0,
         }
 
     def test_final_flag_round_trips(self):
