@@ -31,7 +31,10 @@ correctness mismatch as failure but never the timings themselves
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
+import sys
 import time
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -41,9 +44,13 @@ from repro.core.metering import WorkMeter
 from repro.core.reference import ReferenceStreamingSetJoin
 from repro.datasets.corpora import synthetic_aol, synthetic_tweet
 from repro.parallel.runtime import ParallelJoinRunner, run_serial
+from repro.parallel.worker import peak_rss_bytes
 from repro.records import Record
 from repro.similarity.functions import get_similarity
 from repro.similarity.verification import verify_pair
+from repro.sketch.analysis import expected_recall, recall_lower_bound
+from repro.sketch.engine import SketchStreamingSetJoin
+from repro.sketch.minhash import MinHashScheme
 
 #: The paper-start-date seed used by every calibrated bench workload.
 SEED = 20200420
@@ -72,6 +79,22 @@ TRACE_OVERHEAD_TARGET = 0.05
 #: the paper's postings-per-token density at laptop-scale record
 #: counts).
 HEADLINE_CORPUS = "AOL"
+
+#: (perms, bands) grid the sketch frontier sweeps. Rows per band =
+#: perms // bands; fewer rows per band means more collisions (higher
+#: recall, more verification work), more permutations mean slower
+#: sketching but a finer similarity estimate.
+SKETCH_FRONTIER_GRID: Tuple[Tuple[int, int], ...] = (
+    (16, 4), (32, 4), (64, 4), (64, 8), (128, 4),
+)
+
+#: Minimum measured recall a grid config must reach to qualify for the
+#: sketch headline.
+SKETCH_RECALL_TARGET = 0.95
+
+#: Probe-phase speedup over the exact columnar engine the qualifying
+#: sketch config must deliver (the frontier's acceptance gate).
+SKETCH_SPEEDUP_TARGET = 2.0
 
 
 def _aol_stream(n: int, seed: int):
@@ -193,6 +216,323 @@ def _verify_micro(records: List[Record], threshold: float, repeats: int) -> Dict
         "best_s": best,
         "verifications_per_s": round(len(pairs) / best) if best > 0 else None,
     }
+
+
+def _run_sketch_engine(
+    records: List[Record],
+    similarity: str,
+    threshold: float,
+    repeats: int,
+    perms: int,
+    bands: int,
+) -> Dict[str, object]:
+    """:func:`_run_engine`'s twin for the sketch tier.
+
+    A fresh :class:`MinHashScheme` per repeat keeps the timing honest:
+    the insert phase pays the cold signature computation (the memo
+    helps only within a run, exactly as in streaming use)."""
+    best_insert = best_probe = float("inf")
+    results = 0
+    for _ in range(repeats):
+        func = get_similarity(similarity, threshold)
+        engine = SketchStreamingSetJoin(
+            func, scheme=MinHashScheme(perms=perms, bands=bands),
+            meter=WorkMeter(),
+        )
+        probe = engine.probe
+        t0 = time.perf_counter()
+        for record in records:
+            engine.insert(record)
+        t1 = time.perf_counter()
+        results = 0
+        t2 = time.perf_counter()
+        for record in records:
+            results += len(probe(record))
+        t3 = time.perf_counter()
+        best_insert = min(best_insert, t1 - t0)
+        best_probe = min(best_probe, t3 - t2)
+
+    func = get_similarity(similarity, threshold)
+    engine = SketchStreamingSetJoin(
+        func, scheme=MinHashScheme(perms=perms, bands=bands),
+        meter=WorkMeter(),
+    )
+    for record in records:
+        engine.insert(record)
+    matches: List[Tuple[int, int, float, int]] = []
+    for record in records:
+        for match in engine.probe(record):
+            matches.append(_match_key(record.rid, match))
+    matches.sort()
+    assert results == len(matches), (
+        f"timed pass saw {results} results, correctness pass {len(matches)}"
+    )
+    return {
+        "insert_s": best_insert,
+        "probe_s": best_probe,
+        "matches": matches,
+        "live_postings": engine.live_postings,
+    }
+
+
+def _frontier_pairs(matches) -> Dict[Tuple[int, int], float]:
+    """Distinct non-self unordered pairs (with similarity) of an
+    insert-all-then-probe-all match list."""
+    pairs: Dict[Tuple[int, int], float] = {}
+    for probe_rid, partner_rid, similarity, _overlap in matches:
+        if probe_rid == partner_rid:
+            continue
+        key = (
+            (probe_rid, partner_rid)
+            if probe_rid < partner_rid
+            else (partner_rid, probe_rid)
+        )
+        pairs[key] = similarity
+    return pairs
+
+
+def _frontier_run(corpus: str, n: int, seed: int, similarity: str,
+                  threshold: float, repeats: int,
+                  perms: Optional[int], bands: Optional[int]) -> Dict[str, object]:
+    """One frontier mode: regenerate the corpus, run the engine, reduce
+    the match list to the JSON-safe summary both transports share."""
+    _, generator, _ = WALLCLOCK_CORPORA[corpus]
+    records = list(generator(n, seed))
+    if perms is None:
+        out = _run_engine(
+            StreamingSetJoin, records, similarity, threshold, repeats
+        )
+    else:
+        out = _run_sketch_engine(
+            records, similarity, threshold, repeats, perms, bands
+        )
+    return {
+        "insert_s": out["insert_s"],
+        "probe_s": out["probe_s"],
+        "results": len(out["matches"]),
+        "pairs": sorted(_frontier_pairs(out["matches"]).items()),
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+
+def _frontier_child_main() -> None:
+    """Child-process entry for a frontier mode (``python -c`` target).
+
+    Reads one JSON parameter object from stdin and writes the result
+    JSON to stdout. Running each mode in a fresh interpreter is what
+    makes ``peak_rss_bytes`` meaningful per mode: ``ru_maxrss`` is a
+    process-lifetime high-water mark, so measuring the exact index and
+    the sketch tiers in one process would report the exact index's
+    peak for everyone. (A plain subprocess rather than a spawn-context
+    worker so the parent's ``__main__`` module is never re-imported —
+    the section then works identically from the CLI, pytest or a
+    script.)"""
+    params = json.loads(sys.stdin.read())
+    out = _frontier_run(
+        params["corpus"], params["n"], params["seed"], params["similarity"],
+        params["threshold"], params["repeats"], params["perms"],
+        params["bands"],
+    )
+    sys.stdout.write(json.dumps(out))
+
+
+def _frontier_mode(corpus: str, n: int, seed: int, similarity: str,
+                   threshold: float, repeats: int,
+                   perms: Optional[int] = None,
+                   bands: Optional[int] = None) -> Dict[str, object]:
+    """Run one frontier mode, preferring process isolation for RSS.
+
+    Falls back to in-process measurement (flagged ``isolated: False``
+    — its peak RSS then reflects the whole suite, not the mode) if
+    subprocesses are unavailable or the child fails."""
+    params = json.dumps({
+        "corpus": corpus, "n": n, "seed": seed, "similarity": similarity,
+        "threshold": threshold, "repeats": repeats,
+        "perms": perms, "bands": bands,
+    })
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    try:
+        proc = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.bench.wallclock import _frontier_child_main; "
+             "_frontier_child_main()"],
+            input=params.encode(), capture_output=True, env=env,
+        )
+        if proc.returncode != 0:
+            raise OSError(
+                f"frontier child exited {proc.returncode}: "
+                f"{proc.stderr.decode(errors='replace')[-500:]}"
+            )
+        out = json.loads(proc.stdout.decode())
+        out["isolated"] = True
+        return out
+    except (OSError, ValueError, subprocess.SubprocessError):
+        out = _frontier_run(
+            corpus, n, seed, similarity, threshold, repeats, perms, bands
+        )
+        out["isolated"] = False
+        return out
+
+
+def sketch_frontier_section(
+    repeats: int = 3,
+    similarity: str = "jaccard",
+    threshold: float = 0.8,
+    seed: int = SEED,
+    scale: float = 1.0,
+    corpus: str = HEADLINE_CORPUS,
+    grid: Tuple[Tuple[int, int], ...] = SKETCH_FRONTIER_GRID,
+) -> Dict[str, object]:
+    """The speed-vs-recall frontier (``sketch.frontier`` in the payload).
+
+    Sweeps the (perms, bands) grid over the headline corpus, measuring
+    each config's insert/probe wall time (best-of-``repeats``, same
+    methodology as the exact engines) against the exact columnar
+    engine, plus:
+
+    * **measured recall/precision** — the config's distinct non-self
+      pair set against the exact engine's (precision must be exactly
+      1.0: candidates pass the same ``verify_pair``);
+    * **analytic expectation** — :func:`expected_recall` and the
+      4-sigma :func:`recall_lower_bound` over the exact pairs'
+      similarities, so the measurement is checked against the banding
+      model ``1-(1-s^rows)^bands``;
+    * **peak RSS per mode** — each mode runs in its own spawned
+      process (sketch state is tiny; the number shows it);
+    * **determinism** — the headline config's streaming observables
+      (operation/event totals, match rows) are bit-identical between
+      :func:`run_serial` and the inline runner at 1 and 2 workers.
+
+    The headline is the fastest grid config whose measured recall
+    reaches :data:`SKETCH_RECALL_TARGET`; the gate is
+    :data:`SKETCH_SPEEDUP_TARGET` x probe speedup at that recall.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    base_n, generator, gen_config = WALLCLOCK_CORPORA[corpus]
+    n = max(100, int(base_n * scale))
+
+    exact = _frontier_mode(corpus, n, seed, similarity, threshold, repeats)
+    exact_pairs = {tuple(key): sim for key, sim in exact["pairs"]}
+    exact_keys = frozenset(exact_pairs)
+    similarities = list(exact_pairs.values())
+
+    section: Dict[str, object] = {
+        "corpus": corpus,
+        "records": n,
+        "generator": dict(gen_config),
+        "threshold": threshold,
+        "repeats": repeats,
+        "recall_target": SKETCH_RECALL_TARGET,
+        "speedup_target": SKETCH_SPEEDUP_TARGET,
+        "exact": {
+            "insert_s": round(exact["insert_s"], 6),
+            "probe_s": round(exact["probe_s"], 6),
+            "results": exact["results"],
+            "pairs": len(exact_keys),
+            "peak_rss_bytes": exact["peak_rss_bytes"],
+            "isolated": exact["isolated"],
+        },
+        "grid": {},
+    }
+
+    precision_one = True
+    recall_above_bound = True
+    for perms, bands in grid:
+        run = _frontier_mode(
+            corpus, n, seed, similarity, threshold, repeats, perms, bands
+        )
+        keys = frozenset(tuple(key) for key, _sim in run["pairs"])
+        true_positives = len(keys & exact_keys)
+        recall = true_positives / len(exact_keys) if exact_keys else 1.0
+        precision = true_positives / len(keys) if keys else 1.0
+        rows = perms // bands
+        bound = recall_lower_bound(similarities, rows, bands)
+        precision_one = precision_one and precision == 1.0
+        recall_above_bound = recall_above_bound and recall >= bound
+        section["grid"][f"{perms}x{bands}"] = {
+            "perms": perms,
+            "bands": bands,
+            "rows": rows,
+            "insert_s": round(run["insert_s"], 6),
+            "probe_s": round(run["probe_s"], 6),
+            "probe_speedup": round(exact["probe_s"] / run["probe_s"], 3),
+            "insert_speedup": round(exact["insert_s"] / run["insert_s"], 3),
+            "results": run["results"],
+            "pairs": len(keys),
+            "recall": round(recall, 6),
+            "precision": round(precision, 6),
+            "expected_recall": round(
+                expected_recall(similarities, rows, bands), 6
+            ),
+            "recall_lower_bound": round(bound, 6),
+            "peak_rss_bytes": run["peak_rss_bytes"],
+            "rss_vs_exact": round(
+                run["peak_rss_bytes"] / exact["peak_rss_bytes"], 3
+            ) if exact["peak_rss_bytes"] else None,
+            "isolated": run["isolated"],
+        }
+
+    qualifying = [
+        (name, entry) for name, entry in section["grid"].items()
+        if entry["recall"] >= SKETCH_RECALL_TARGET
+    ]
+    if qualifying:
+        name, entry = max(qualifying, key=lambda item: item[1]["probe_speedup"])
+    else:  # nothing reached the recall floor: report the closest miss
+        name, entry = max(
+            section["grid"].items(), key=lambda item: item[1]["recall"]
+        )
+    section["headline"] = {
+        "config": name,
+        "probe_speedup": entry["probe_speedup"],
+        "recall": entry["recall"],
+        "precision": entry["precision"],
+        "recall_target": SKETCH_RECALL_TARGET,
+        "speedup_target": SKETCH_SPEEDUP_TARGET,
+        "meets_target": (
+            entry["recall"] >= SKETCH_RECALL_TARGET
+            and entry["probe_speedup"] >= SKETCH_SPEEDUP_TARGET
+            and entry["precision"] == 1.0
+        ),
+    }
+
+    # Streaming determinism: the headline config's observables must not
+    # depend on how the work is executed (serial vs inline-sharded).
+    perms, bands = entry["perms"], entry["bands"]
+    config = JoinConfig(
+        mode="approx", perms=perms, bands=bands,
+        similarity=similarity, threshold=threshold,
+    )
+    stream = generator(n, seed)
+    serial = run_serial(config, stream)
+    observables_identical = True
+    matches_identical = True
+    for workers in (1, 2):
+        result = ParallelJoinRunner(
+            config, workers=workers, executor="inline"
+        ).run(stream)
+        observables_identical = observables_identical and (
+            result.operations == serial.operations
+            and result.events == serial.events
+        )
+        matches_identical = matches_identical and (
+            sorted(result.matches) == sorted(serial.matches)
+        )
+    section["determinism"] = {
+        "config": name,
+        "workers": [1, 2],
+        "observables_identical": observables_identical,
+        "matches_identical": matches_identical,
+    }
+    section["correctness"] = {
+        "precision_one": precision_one,
+        "recall_above_bound": recall_above_bound,
+        "observables_identical": observables_identical,
+        "matches_identical": matches_identical,
+    }
+    return section
 
 
 def parallel_scaling_section(
@@ -682,6 +1022,19 @@ def wallclock_suite(
             "correctness": correctness,
         }
     payload["verify_micro"] = _verify_micro(verify_records, threshold, repeats)
+    frontier_corpus = (
+        HEADLINE_CORPUS if HEADLINE_CORPUS in payload["corpora"] else names[0]
+    )
+    payload["sketch"] = {
+        "frontier": sketch_frontier_section(
+            repeats=repeats,
+            similarity=similarity,
+            threshold=threshold,
+            seed=seed,
+            scale=scale,
+            corpus=frontier_corpus,
+        ),
+    }
     headline_corpus = (
         HEADLINE_CORPUS if HEADLINE_CORPUS in payload["corpora"] else names[0]
     )
@@ -768,9 +1121,13 @@ def correctness_ok(payload: Dict[str, object]) -> bool:
         if transport and transport.get("supported")
         else True
     )
+    frontier = payload.get("sketch", {}).get("frontier")
+    frontier_ok = (
+        all(frontier["correctness"].values()) if frontier else True
+    )
     return (
         engines_ok and parallel_ok and telemetry_ok and latency_ok
-        and transport_ok
+        and transport_ok and frontier_ok
     )
 
 
@@ -797,6 +1154,33 @@ def render_wallclock(payload: Dict[str, object]) -> str:
         f"(target x{headline['target']:.1f}: "
         f"{'met' if headline['meets_target'] else 'NOT met'})"
     )
+    frontier = payload.get("sketch", {}).get("frontier")
+    if frontier:
+        lines.append(
+            f"  sketch frontier: {frontier['corpus']} "
+            f"n={frontier['records']} exact probe "
+            f"{frontier['exact']['probe_s']*1e3:.1f}ms "
+            f"({frontier['exact']['pairs']} pairs)"
+        )
+        for name, entry in frontier["grid"].items():
+            lines.append(
+                f"    {name:>6s}  probe {entry['probe_s']*1e3:7.1f}ms "
+                f"(x{entry['probe_speedup']:.2f})  "
+                f"recall {entry['recall']:.4f} "
+                f"(expected {entry['expected_recall']:.4f})  "
+                f"precision {entry['precision']:.4f}  "
+                f"rss x{entry['rss_vs_exact']:.2f}"
+            )
+        sk = frontier["headline"]
+        ok = all(frontier["correctness"].values())
+        lines.append(
+            f"    headline: {sk['config']} x{sk['probe_speedup']:.2f} probe "
+            f"at recall {sk['recall']:.4f} "
+            f"(targets x{sk['speedup_target']:.1f} at "
+            f">= {sk['recall_target']:.2f}: "
+            f"{'met' if sk['meets_target'] else 'NOT met'})  "
+            f"correctness {'ok' if ok else 'MISMATCH'}"
+        )
     scaling = payload.get("parallel", {}).get("scaling")
     if scaling:
         lines.append(

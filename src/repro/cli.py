@@ -70,6 +70,7 @@ import math
 import os
 import sys
 import tempfile
+from dataclasses import replace
 from typing import List, Optional
 
 from repro.bench.harness import (
@@ -100,9 +101,10 @@ from repro.obs.baseline import (
 from repro.obs.exporters import load_metrics_json, metrics_to_json, write_metrics
 from repro.obs.health import load_health_jsonl, validate_health_lines
 from repro.obs.tracing import load_trace_jsonl, validate_trace_lines
+from repro.sketch.recall import observables_recall
 from repro.storm.costmodel import CostModel
 
-METHOD_LABELS = ("BRD", "PRE", "LEN-U", "LEN", "LEN+BUN")
+METHOD_LABELS = ("BRD", "PRE", "LEN-U", "LEN", "LEN+BUN", "SKT")
 
 #: Record-count multiplier behind ``--wallclock-scale smoke`` — small
 #: enough for CI runners, large enough that every corpus still joins.
@@ -134,6 +136,23 @@ def build_parser() -> argparse.ArgumentParser:
                            "postings as probes touch them, eager evicts "
                            "on arrival via an expiration heap "
                            "(default: lazy)")
+    join.add_argument("--mode", default="exact", choices=["exact", "approx"],
+                      help="'approx' swaps exact prefix-filter candidate "
+                           "generation for MinHash/LSH band collisions: "
+                           "emitted pairs are still exactly verified "
+                           "(precision 1.0) but recall drops below 1.0 "
+                           "(default: exact)")
+    join.add_argument("--perms", type=int, default=None, metavar="K",
+                      help="MinHash permutations per signature in --mode "
+                           "approx (default 64)")
+    join.add_argument("--bands", type=int, default=None, metavar="B",
+                      help="LSH bands per signature in --mode approx; "
+                           "must divide --perms evenly (default 8)")
+    join.add_argument("--recall-floor", type=float, default=None,
+                      metavar="R",
+                      help="after an approx join, rerun the exact engine "
+                           "over the same stream and exit 1 if measured "
+                           "recall falls below R; requires --mode approx")
     join.add_argument("--rate", type=float, default=1000.0,
                       help="arrival rate, records/second")
     join.add_argument("--dispatchers", type=int, default=1)
@@ -194,6 +213,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--dispatchers", type=int, default=4)
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--vocabulary", type=int, default=None)
+    bench.add_argument("--mode", default="exact", choices=["exact", "approx"],
+                       help="'approx' adds the sketch tier (SKT, "
+                            "MinHash/LSH candidate generation) to the "
+                            "method comparison; incompatible with "
+                            "--check-baseline, whose fingerprints gate "
+                            "bit-identical exactness")
+    bench.add_argument("--perms", type=int, default=None, metavar="K",
+                       help="MinHash permutations for the SKT method in "
+                            "--mode approx (default 64)")
+    bench.add_argument("--bands", type=int, default=None, metavar="B",
+                       help="LSH bands for the SKT method in --mode "
+                            "approx; must divide --perms (default 8)")
     bench.add_argument("--summary-out", default="BENCH_summary.json",
                        metavar="PATH",
                        help="machine-readable summary destination "
@@ -432,6 +463,20 @@ def _cmd_join(args) -> int:
         print(f"join: --spans-sample must be >= 1, got {args.spans_sample}",
               file=sys.stderr)
         return 2
+    if args.mode != "approx":
+        for flag, value in (("--perms", args.perms), ("--bands", args.bands)):
+            if value is not None:
+                print(f"join: {flag} requires --mode approx (the exact "
+                      f"tier has no sketch parameters)", file=sys.stderr)
+                return 2
+        if args.recall_floor is not None:
+            print("join: --recall-floor requires --mode approx (an exact "
+                  "join has recall 1.0 by construction)", file=sys.stderr)
+            return 2
+    if args.recall_floor is not None and not (0.0 < args.recall_floor <= 1.0):
+        print(f"join: --recall-floor must be in (0, 1], got "
+              f"{args.recall_floor}", file=sys.stderr)
+        return 2
     if args.spans_out and not args.parallel:
         print("join: --spans-out requires --parallel (wall-clock spans "
               "come from the multi-core runtime; the simulated cluster "
@@ -489,17 +534,20 @@ def _cmd_join(args) -> int:
             window_seconds=args.window,
             expiry=args.expiry,
             dispatcher_parallelism=args.dispatchers,
-            collect_pairs=args.pairs,
+            collect_pairs=args.pairs or args.recall_floor is not None,
+            mode=args.mode,
             **(
                 {"batch_size": args.batch_size}
                 if args.batch_size is not None
                 else {}
             ),
+            **({"perms": args.perms} if args.perms is not None else {}),
+            **({"bands": args.bands} if args.bands is not None else {}),
         )
     except ValueError as error:
         # JoinConfig's pointed validation errors (bad --batch-size,
-        # --shards, --window combinations) become clean exit-code-2
-        # diagnostics instead of tracebacks.
+        # --shards, --window, --perms/--bands combinations) become
+        # clean exit-code-2 diagnostics instead of tracebacks.
         print(f"join: {error}", file=sys.stderr)
         return 2
     if args.parallel:
@@ -518,6 +566,35 @@ def _cmd_join(args) -> int:
             args.fingerprint_out, fingerprint_from_metrics(metrics_to_json(report.obs))
         )
         print(f"fingerprint: -> {path}")
+    if args.recall_floor is not None:
+        exact_config = replace(config, mode="exact", collect_pairs=True)
+        exact_report = DistributedStreamJoin(exact_config).run(stream)
+        return _recall_gate(
+            _pair_set(exact_report.pairs), _pair_set(report.pairs),
+            args.recall_floor, "join",
+        )
+    return 0
+
+
+def _pair_set(pairs) -> frozenset:
+    """Order-independent pair set of a ``collect_pairs`` report."""
+    return frozenset(
+        (a, b) if a < b else (b, a) for a, b, _similarity in pairs
+    )
+
+
+def _recall_gate(exact, approx, floor: float, command: str) -> int:
+    """Measure an approx run against its exact rerun; gate on recall."""
+    measured = observables_recall(exact, approx)
+    print(f"recall: {measured['recall']:.4f} (floor {floor}) "
+          f"precision: {measured['precision']:.4f} "
+          f"exact={measured['exact_pairs']} "
+          f"approx={measured['approx_pairs']} "
+          f"missed={measured['missed']} spurious={measured['spurious']}")
+    if measured["recall"] < floor:
+        print(f"{command}: measured recall {measured['recall']:.4f} is "
+              f"below the floor {floor}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -626,10 +703,28 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
     if args.fingerprint_out:
         path = write_fingerprint(args.fingerprint_out, result.fingerprint())
         print(f"fingerprint: -> {path}")
+    if args.recall_floor is not None:
+        from repro.parallel.runtime import run_serial
+
+        exact = run_serial(replace(config, mode="exact"), stream)
+        return _recall_gate(exact, result, args.recall_floor, "join")
     return 0
 
 
 def _cmd_bench(args) -> int:
+    if args.mode == "approx" and args.check_baseline:
+        print("bench: --check-baseline is an exactness gate (its "
+              "fingerprints compare bit-identical observables); --mode "
+              "approx trades exactness for speed, so the comparison can "
+              "never hold — gate the sketch tier with `repro join --mode "
+              "approx --recall-floor` instead", file=sys.stderr)
+        return 2
+    if args.mode != "approx":
+        for flag, value in (("--perms", args.perms), ("--bands", args.bands)):
+            if value is not None:
+                print(f"bench: {flag} requires --mode approx (the exact "
+                      f"methods have no sketch parameters)", file=sys.stderr)
+                return 2
     if args.wallclock:
         return _bench_wallclock(args)
     builder = CORPUS_BUILDERS[args.corpus]
@@ -642,6 +737,19 @@ def _cmd_bench(args) -> int:
         threshold=args.threshold,
         dispatcher_parallelism=args.dispatchers,
     )
+    if args.mode == "approx":
+        try:
+            configs["SKT"] = JoinConfig(
+                mode="approx",
+                threshold=args.threshold,
+                num_workers=args.workers,
+                dispatcher_parallelism=args.dispatchers,
+                **({"perms": args.perms} if args.perms is not None else {}),
+                **({"bands": args.bands} if args.bands is not None else {}),
+            )
+        except ValueError as error:
+            print(f"bench: {error}", file=sys.stderr)
+            return 2
     observers = {label: _make_observer(args) for label in configs}
     reports = run_methods(
         stream, configs, observer_factory=lambda label: observers[label]

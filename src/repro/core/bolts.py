@@ -24,9 +24,12 @@ from repro.core.local_join import StreamingSetJoin
 from repro.core.metering import WorkMeter
 from repro.core.two_stream import cross_source_filter
 from repro.records import Record
+from repro.routing.band_router import band_owner
 from repro.routing.base import Router
 from repro.routing.prefix_router import token_owner
 from repro.similarity.functions import SimilarityFunction
+from repro.sketch.engine import SketchStreamingSetJoin
+from repro.sketch.minhash import MinHashScheme
 from repro.storm.components import Bolt, Spout
 from repro.storm.tuples import StormTuple
 from repro.streams.stream import RecordStream
@@ -133,7 +136,19 @@ class JoinBolt(Bolt):
         self.meter = WorkMeter(ctx)
         window = SlidingWindow(config.window_seconds)
         cross = cross_source_filter if config.cross_source_only else None
-        if config.distribution == "prefix":
+        if config.mode == "approx":
+            worker, workers = ctx.task_index, ctx.num_tasks
+            self.engine = SketchStreamingSetJoin(
+                self.func,
+                scheme=MinHashScheme(perms=config.perms, bands=config.bands),
+                window=window,
+                meter=self.meter,
+                band_filter=(
+                    None if workers == 1
+                    else lambda j, key: band_owner(j, key, workers) == worker
+                ),
+            )
+        elif config.distribution == "prefix":
             worker, workers = ctx.task_index, ctx.num_tasks
             dedup = PrefixDedupFilter(worker, workers, self.func, self.meter)
             pair_filter = dedup
@@ -234,6 +249,21 @@ class JoinBolt(Bolt):
         self.meter.event("final_postings", self.engine.live_postings)
         if isinstance(self.engine, BundleIndex):
             self.meter.event("final_bundles", self.engine.num_bundles)
+        if self.config.mode == "approx":
+            # Candidate precision — verified matches per admitted
+            # candidate — is the gap `repro explain` attributes between
+            # the exact and sketch tiers: exact prefix filtering admits
+            # a superset of the sketch tier's band collisions, so the
+            # two gauges quantify how much verification work banding
+            # saved (and at what recall).
+            admitted = self.meter.count("sketch_candidates_admitted")
+            results = self.meter.count("results")
+            self.ctx.obs.gauge(
+                "sketch_candidate_precision",
+                help="verified matches per admitted sketch candidate",
+                component="join",
+                task=self.ctx.task_index,
+            ).set(results / admitted if admitted else 1.0)
 
 
 class ResultSink(Bolt):

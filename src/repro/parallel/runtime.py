@@ -502,8 +502,17 @@ class ParallelJoinRunner:
         return self._merge(plan, records, workers, chunks, summaries, started)
 
     def _feed(self, plan: ShardPlan, records, send) -> Dict[str, float]:
-        """Route records into per-shard batches; ``send(shard, items)``
-        ships one full batch. Returns the driver's fanout stats."""
+        """Route records into per-shard batches; ``send(shard, items,
+        traced_rids)`` ships one full batch. Returns the driver's
+        fanout stats.
+
+        The tracing stride is hoisted out of the loop entirely: the
+        untraced run takes a loop with no per-record stride arithmetic
+        at all, and the traced run accumulates each batch's traced rids
+        *here*, alongside the buffer appends, so the senders stamp
+        encode/write events without rescanning every batch for traced
+        records (the rid set is a pure function of the stride either
+        way — the worker still re-derives it independently)."""
         shards = plan.num_shards
         batch_size = self.batch_size
         tracer = self._driver_trace
@@ -513,13 +522,33 @@ class ParallelJoinRunner:
         fanout_total = 0.0
         fanout_peak = 0.0
         count = 0
+        if not stride:
+            for record in records:
+                tasks = plan.tasks(record)
+                fraction = len(tasks) / shards
+                fanout_total += fraction
+                if fraction > fanout_peak:
+                    fanout_peak = fraction
+                count += 1
+                for shard, op in tasks:
+                    buffer = buffers[shard]
+                    buffer.append((op, record))
+                    if len(buffer) >= batch_size:
+                        send(shard, buffer, None)
+                        buffer.clear()
+            for shard, buffer in enumerate(buffers):
+                if buffer:
+                    send(shard, buffer, None)
+                    buffer.clear()
+            return {
+                "total": fanout_total, "count": count, "peak": fanout_peak
+            }
+        traced_rids: List[List[int]] = [[] for _ in range(shards)]
         for record in records:
             # The feed event covers the record's routing and buffer
             # appends — including any batch flush it triggers, which is
             # latency the record genuinely experiences at the driver.
-            # The stride check is inlined (vs tracer.selected) so an
-            # untraced record pays one modulo, not a method call.
-            traced = bool(stride) and not record.rid % stride
+            traced = not record.rid % stride
             if traced:
                 t_rec = monotonic()
             tasks = plan.tasks(record)
@@ -531,15 +560,19 @@ class ParallelJoinRunner:
             for shard, op in tasks:
                 buffer = buffers[shard]
                 buffer.append((op, record))
+                if traced:
+                    traced_rids[shard].append(record.rid)
                 if len(buffer) >= batch_size:
-                    send(shard, buffer)
+                    send(shard, buffer, traced_rids[shard])
                     buffer.clear()
+                    traced_rids[shard] = []
             if traced:
                 tracer.record(_EV_FEED, record.rid, t_rec, monotonic())
         for shard, buffer in enumerate(buffers):
             if buffer:
-                send(shard, buffer)
+                send(shard, buffer, traced_rids[shard])
                 buffer.clear()
+                traced_rids[shard] = []
         return {"total": fanout_total, "count": count, "peak": fanout_peak}
 
     def _run_process(self, plan, records, workers, assignment):
@@ -695,7 +728,7 @@ class ParallelJoinRunner:
                     claim = ring.try_claim(length)
                 return claim
 
-            def send_pipe(shard: int, items) -> None:
+            def send_pipe(shard: int, items, traced) -> None:
                 if spans is None and not track and tracer is None:
                     conns[shard % workers].send_bytes(
                         encoder.encode(prefixes[shard], items)
@@ -704,11 +737,9 @@ class ParallelJoinRunner:
                 seq = batch_seq.get(shard, 0)
                 batch_seq[shard] = seq + 1
                 keep = spans is not None and spans.keep(seq)
-                traced_rids = (
-                    [r.rid for _op, r in items if not r.rid % stride]
-                    if stride
-                    else None
-                )
+                # Traced rids come pre-accumulated from the feed loop —
+                # no per-batch rescan here.
+                traced_rids = traced if traced else None
                 if not keep and not track and not traced_rids:
                     conns[shard % workers].send_bytes(
                         encoder.encode(prefixes[shard], items)
@@ -741,16 +772,12 @@ class ParallelJoinRunner:
                             driver_stats(t2 - tstate["feed_t0"])
                         )
 
-            def send_shm(shard: int, items) -> None:
+            def send_shm(shard: int, items, traced) -> None:
                 w = shard % workers
                 seq = batch_seq.get(shard, 0)
                 batch_seq[shard] = seq + 1
                 keep = spans is not None and spans.keep(seq)
-                traced_rids = (
-                    [r.rid for _op, r in items if not r.rid % stride]
-                    if stride
-                    else None
-                )
+                traced_rids = traced if traced else None
                 timed = keep or track or bool(traced_rids)
                 if timed:
                     t0 = monotonic()
@@ -988,16 +1015,13 @@ class ParallelJoinRunner:
             ring.publish(advance)
             return ring.view(offset, total), advance, ring
 
-        def send(shard: int, items) -> None:
+        def send(shard: int, items, traced) -> None:
             # Round-trip through the codec so inline runs exercise the
             # exact wire path (and records arrive re-materialized, as
-            # they would from a pipe or a ring).
+            # they would from a pipe or a ring). Traced rids arrive
+            # pre-accumulated from the feed loop.
             worker = pool[shard % workers]
-            traced_rids = (
-                [r.rid for _op, r in items if not r.rid % trace_sample]
-                if tracer is not None
-                else None
-            )
+            traced_rids = traced if traced else None
             keep = False
             if spans is not None:
                 seq = batch_seq.get(shard, 0)

@@ -109,8 +109,11 @@ from repro.parallel.codec import (
 )
 from repro.parallel.shm import attach_ring
 from repro.records import Record
+from repro.routing.band_router import band_owner
 from repro.routing.prefix_router import token_owner
 from repro.similarity.functions import SimilarityFunction, get_similarity
+from repro.sketch.engine import SketchStreamingSetJoin
+from repro.sketch.minhash import MinHashScheme
 from repro.streams.window import SlidingWindow
 
 __all__ = [
@@ -167,6 +170,18 @@ def build_shard_engine(
     cluster's."""
     window = SlidingWindow(config.window_seconds)
     cross = cross_source_filter if config.cross_source_only else None
+    if config.mode == "approx":
+        scheme = MinHashScheme(perms=config.perms, bands=config.bands)
+        return SketchStreamingSetJoin(
+            func,
+            scheme=scheme,
+            window=window,
+            meter=meter,
+            band_filter=(
+                None if num_shards == 1
+                else lambda j, key: band_owner(j, key, num_shards) == shard
+            ),
+        )
     if config.distribution == "prefix":
         dedup = PrefixDedupFilter(shard, num_shards, func, meter)
         pair_filter = dedup
@@ -293,14 +308,19 @@ class ShardWorker:
             self._batch_seq[shard] = seq + 1
             record_spans = self.spans is not None and self.spans.keep(seq)
             tracer = self.tracer
-            # Inlined rid-stride check (vs tracer.selected) keeps the
-            # per-record cost of an all-untraced batch to one modulo.
+            # One inlined rid-stride scan per batch (vs tracer.selected
+            # per record) finds the traced positions up front; the
+            # instrumented path reuses them instead of re-deriving the
+            # stride check record by record.
             stride = tracer.sample if tracer is not None else 0
-            if record_spans or (
-                stride and any(not r.rid % stride for _, r in items)
-            ):
+            positions = (
+                [i for i, item in enumerate(items) if not item[1].rid % stride]
+                if stride
+                else None
+            )
+            if record_spans or positions:
                 self._process_batch_instrumented(
-                    shard, items, seq, record_spans
+                    shard, items, seq, record_spans, positions
                 )
                 return
         start = time.monotonic()
@@ -334,6 +354,7 @@ class ShardWorker:
         items: Sequence[Tuple[int, Record]],
         seq: int,
         record_spans: bool,
+        traced_positions: Optional[List[int]] = None,
     ) -> None:
         """The sampled path — spans, tracing, or both: identical
         engine/meter calls in identical order, plus per-record timing
@@ -345,7 +366,6 @@ class ShardWorker:
         the batch approximate (the two phases interleave per record)."""
         monotonic = time.monotonic
         tracer = self.tracer
-        stride = tracer.sample if tracer is not None else 0
         start = monotonic()
         engine = self.engines[shard]
         meter = self.meters[shard]
@@ -355,24 +375,42 @@ class ShardWorker:
         batched = engine.batched()
         batched.__enter__()
         try:
-            for op, record in items:
-                traced = bool(stride) and not record.rid % stride
-                timed = record_spans or traced
-                if op & PROBE:
-                    had_probe = True
-                    if timed:
+            if not record_spans:
+                # Tracing only: every record between two traced
+                # positions runs through the exact fast-path body — no
+                # per-record stride arithmetic, no timing branches.
+                # Only the (typically 1-in-``sample``) traced records
+                # pay the stamp cost. Call order against the engine and
+                # meter is identical to the fast path, so observables
+                # stay bit-for-bit.
+                probe = engine.probe
+                insert = engine.insert
+                event = meter.event
+                cursor = 0
+                for pos in traced_positions:
+                    for op, record in items[cursor:pos]:
+                        if op & PROBE:
+                            matches = probe(record)
+                            event("results", len(matches))
+                            if matches:
+                                ts, rid = record.timestamp, record.rid
+                                for m in matches:
+                                    rows.append(
+                                        (ts, rid, m.partner.rid,
+                                         m.overlap, m.similarity)
+                                    )
+                        if op & INDEX:
+                            insert(record)
+                    cursor = pos + 1
+                    op, record = items[pos]
+                    if op & PROBE:
                         t0 = monotonic()
-                        matches = engine.probe(record)
+                        matches = probe(record)
                         t1 = monotonic()
-                        probe_s += t1 - t0
-                        if traced:
-                            tracer.record(_EV_PROBE, record.rid, t0, t1, shard)
-                    else:
-                        matches = engine.probe(record)
-                    meter.event("results", len(matches))
-                    if matches:
-                        ts, rid = record.timestamp, record.rid
-                        if traced:
+                        tracer.record(_EV_PROBE, record.rid, t0, t1, shard)
+                        event("results", len(matches))
+                        if matches:
+                            ts, rid = record.timestamp, record.rid
                             t0 = monotonic()
                             for m in matches:
                                 rows.append(
@@ -382,23 +420,65 @@ class ShardWorker:
                             tracer.record(
                                 _EV_MATCH_EMIT, rid, t0, monotonic(), shard
                             )
-                        else:
+                    if op & INDEX:
+                        t0 = monotonic()
+                        insert(record)
+                        t1 = monotonic()
+                        tracer.record(_EV_INSERT, record.rid, t0, t1, shard)
+                for op, record in items[cursor:]:
+                    if op & PROBE:
+                        matches = probe(record)
+                        event("results", len(matches))
+                        if matches:
+                            ts, rid = record.timestamp, record.rid
                             for m in matches:
                                 rows.append(
                                     (ts, rid, m.partner.rid,
                                      m.overlap, m.similarity)
                                 )
-                if op & INDEX:
-                    had_insert = True
-                    if timed:
+                    if op & INDEX:
+                        insert(record)
+            else:
+                traced_set = (
+                    frozenset(traced_positions) if traced_positions else ()
+                )
+                for pos, (op, record) in enumerate(items):
+                    traced = pos in traced_set
+                    if op & PROBE:
+                        had_probe = True
+                        t0 = monotonic()
+                        matches = engine.probe(record)
+                        t1 = monotonic()
+                        probe_s += t1 - t0
+                        if traced:
+                            tracer.record(_EV_PROBE, record.rid, t0, t1, shard)
+                        meter.event("results", len(matches))
+                        if matches:
+                            ts, rid = record.timestamp, record.rid
+                            if traced:
+                                t0 = monotonic()
+                                for m in matches:
+                                    rows.append(
+                                        (ts, rid, m.partner.rid,
+                                         m.overlap, m.similarity)
+                                    )
+                                tracer.record(
+                                    _EV_MATCH_EMIT, rid, t0, monotonic(), shard
+                                )
+                            else:
+                                for m in matches:
+                                    rows.append(
+                                        (ts, rid, m.partner.rid,
+                                         m.overlap, m.similarity)
+                                    )
+                    if op & INDEX:
+                        had_insert = True
                         t0 = monotonic()
                         engine.insert(record)
                         t1 = monotonic()
                         insert_s += t1 - t0
                         if traced:
                             tracer.record(_EV_INSERT, record.rid, t0, t1, shard)
-                    else:
-                        engine.insert(record)
         except BaseException:
             batched.__exit__(*sys.exc_info())
             raise

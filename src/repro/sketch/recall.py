@@ -1,0 +1,58 @@
+"""Recall/precision measurement between exact and approximate runs.
+
+The differential harness's historical contract is *bit-identical
+observables*; the sketch tier deliberately breaks it in one dimension —
+the match set — so this module supplies the replacement contract:
+measure recall and precision of an approximate run against the exact
+run of the same corpus/threshold, and assert precision == 1.0 plus
+recall above the analytic bound (:mod:`repro.sketch.analysis`).
+
+Both inputs may be :class:`~repro.parallel.runtime.ParallelJoinResult`
+objects, iterables of ``MatchRow`` tuples ``(ts, rid_a, rid_b, overlap,
+similarity)``, or pre-built pair sets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Tuple, Union
+
+__all__ = ["match_pairs", "observables_recall"]
+
+Pair = Tuple[int, int]
+
+
+def match_pairs(result) -> FrozenSet[Pair]:
+    """The order-independent pair set of a run's matches."""
+    if isinstance(result, (set, frozenset)):
+        return frozenset(result)
+    rows = getattr(result, "matches", result)
+    pairs = set()
+    for row in rows:
+        a, b = row[1], row[2]
+        pairs.add((a, b) if a < b else (b, a))
+    return frozenset(pairs)
+
+
+def observables_recall(exact, approx) -> Dict[str, Union[int, float]]:
+    """Compare an approximate run's match set against the exact run's.
+
+    Returns counts and the two ratios; an empty reference set means
+    there was nothing to miss (recall 1.0), an empty approximate set
+    means nothing could be spurious (precision 1.0).
+    """
+    exact_pairs = match_pairs(exact)
+    approx_pairs = match_pairs(approx)
+    true_positives = len(exact_pairs & approx_pairs)
+    return {
+        "exact_pairs": len(exact_pairs),
+        "approx_pairs": len(approx_pairs),
+        "true_positives": true_positives,
+        "missed": len(exact_pairs - approx_pairs),
+        "spurious": len(approx_pairs - exact_pairs),
+        "recall": (
+            true_positives / len(exact_pairs) if exact_pairs else 1.0
+        ),
+        "precision": (
+            true_positives / len(approx_pairs) if approx_pairs else 1.0
+        ),
+    }
