@@ -1,5 +1,6 @@
 """Make the in-tree package importable even without installation."""
 
+import os
 import sys
 from pathlib import Path
 
@@ -9,3 +10,9 @@ if _SRC not in sys.path:
         import repro  # noqa: F401
     except ImportError:
         sys.path.insert(0, _SRC)
+
+# CLI tests run `repro join`/`repro bench` with the repo as cwd; an
+# empty REPRO_ARCHIVE disables run auto-capture so the suite never
+# drops a .repro/archive.db into the working tree. Archive tests point
+# at tmp databases explicitly (setdefault keeps a caller's override).
+os.environ.setdefault("REPRO_ARCHIVE", "")

@@ -75,6 +75,12 @@ TELEMETRY_OVERHEAD_TARGET = 0.05
 #: default sampling stride (fraction over the tracing-off wall).
 TRACE_OVERHEAD_TARGET = 0.05
 
+#: Maximum acceptable cost of archiving a finished run into the
+#: persistent flight recorder, as a fraction of the run's own wall
+#: time (the archive write happens after the join completes, so the
+#: fraction is purely additive latency).
+ARCHIVE_OVERHEAD_TARGET = 0.05
+
 #: The headline corpus (density-calibrated like ``benchmarks.common``:
 #: the paper's postings-per-token density at laptop-scale record
 #: counts).
@@ -780,6 +786,87 @@ def trace_overhead_section(
     }
 
 
+def archive_overhead_section(
+    workers: int = 2,
+    repeats: int = 3,
+    similarity: str = "jaccard",
+    threshold: float = 0.8,
+    seed: int = SEED,
+    scale: float = 1.0,
+    corpus: str = HEADLINE_CORPUS,
+    batch_size: Optional[int] = None,
+) -> Dict[str, object]:
+    """Flight-recorder cost + fidelity check (``parallel.archive``).
+
+    The calibrated workload runs once through the process executor,
+    then the finished result is archived into a throwaway SQLite
+    database best-of-``repeats`` times — exactly what the CLI's
+    auto-capture does after every ``repro join --parallel``.
+    ``overhead_fraction`` is ``archive_write_s / wall_run_s``: the
+    archive write happens after the join finishes, so the fraction is
+    purely additive latency on the invocation. ``correctness`` checks
+    the run against :func:`~repro.parallel.runtime.run_serial` ground
+    truth AND that the fingerprint reconstructed from the database is
+    bit-identical to the in-memory one (``fingerprint_roundtrip``) —
+    folded into :func:`correctness_ok`. The timing target
+    (:data:`ARCHIVE_OVERHEAD_TARGET`) is reported but never gated.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    import tempfile
+
+    from repro.obs.archive import RunArchive
+
+    base_n, generator, _ = WALLCLOCK_CORPORA[corpus]
+    n = max(100, int(base_n * scale))
+    records = list(generator(n, seed))
+    config = JoinConfig(similarity=similarity, threshold=threshold)
+    if batch_size is not None:
+        config = config.replace(batch_size=batch_size)
+    serial = run_serial(config, records)
+    result = None
+    for _ in range(repeats):
+        candidate = ParallelJoinRunner(config, workers=workers).run(records)
+        if result is None or candidate.wall_s < result.wall_s:
+            result = candidate
+
+    write_s = None
+    run_id = None
+    roundtrip = False
+    observables = 0
+    with tempfile.TemporaryDirectory() as scratch:
+        with RunArchive(os.path.join(scratch, "archive.db")) as archive:
+            for _ in range(repeats):
+                started = time.perf_counter()
+                run_id = archive.record_parallel_run(
+                    result, source="bench-overhead", seed=seed
+                )
+                elapsed = time.perf_counter() - started
+                if write_s is None or elapsed < write_s:
+                    write_s = elapsed
+            stored = archive.fingerprint(run_id)
+            roundtrip = stored == result.fingerprint()
+            observables = len(stored["exact"]) + len(stored["banded"])
+    overhead = write_s / result.wall_s if result.wall_s > 0 else 0.0
+    return {
+        "corpus": corpus,
+        "records": n,
+        "workers": workers,
+        "wall_run_s": round(result.wall_s, 6),
+        "archive_write_s": round(write_s, 6),
+        "overhead_fraction": round(overhead, 4),
+        "target": ARCHIVE_OVERHEAD_TARGET,
+        "meets_target": overhead <= ARCHIVE_OVERHEAD_TARGET,
+        "archived_observables": observables,
+        "correctness": {
+            "matches_equal": result.matches == serial.matches,
+            "operations_equal": result.operations == serial.operations,
+            "events_equal": result.events == serial.events,
+            "fingerprint_roundtrip": roundtrip,
+        },
+    }
+
+
 def _transport_io(totals: Dict[str, object]) -> Dict[str, float]:
     """Codec-tax metrics of one run's ``phase_totals``.
 
@@ -1087,6 +1174,17 @@ def wallclock_suite(
                 scale=scale,
                 batch_size=batch_size,
             ),
+            # Archiving is a single post-run write, not an in-loop
+            # perturbation, so plain ``repeats`` is enough.
+            "archive": archive_overhead_section(
+                workers=min(2, workers),
+                repeats=repeats,
+                similarity=similarity,
+                threshold=threshold,
+                seed=seed,
+                scale=scale,
+                batch_size=batch_size,
+            ),
         }
     return payload
 
@@ -1112,6 +1210,10 @@ def correctness_ok(payload: Dict[str, object]) -> bool:
     latency_ok = (
         all(latency["correctness"].values()) if latency else True
     )
+    archive = payload.get("parallel", {}).get("archive")
+    archive_ok = (
+        all(archive["correctness"].values()) if archive else True
+    )
     transport = payload.get("parallel", {}).get("transport")
     transport_ok = (
         all(
@@ -1127,7 +1229,7 @@ def correctness_ok(payload: Dict[str, object]) -> bool:
     )
     return (
         engines_ok and parallel_ok and telemetry_ok and latency_ok
-        and transport_ok and frontier_ok
+        and archive_ok and transport_ok and frontier_ok
     )
 
 
@@ -1261,4 +1363,17 @@ def render_wallclock(payload: Dict[str, object]) -> str:
                 f"{'yes' if wins['worker_io'] else 'NO'})  "
                 f"correctness {'ok' if ok else 'MISMATCH'}"
             )
+    archive = payload.get("parallel", {}).get("archive")
+    if archive:
+        ok = all(archive["correctness"].values())
+        lines.append(
+            f"  archive overhead: workers={archive['workers']}  "
+            f"run {archive['wall_run_s']*1e3:.1f}ms + "
+            f"write {archive['archive_write_s']*1e3:.1f}ms "
+            f"({archive['overhead_fraction']:+.1%}, "
+            f"target <= {archive['target']:.0%}: "
+            f"{'met' if archive['meets_target'] else 'NOT met'})  "
+            f"{archive['archived_observables']} observables  "
+            f"correctness {'ok' if ok else 'MISMATCH'}"
+        )
     return "\n".join(lines)

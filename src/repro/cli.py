@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Ten commands cover the workflows a downstream user needs:
+Eleven commands cover the workflows a downstream user needs:
 
 ``join``
     Run the distributed streaming join over a token file (one record
@@ -60,6 +60,18 @@ Ten commands cover the workflows a downstream user needs:
     file for use with ``join``.
 ``stats``
     Print a token file's corpus statistics.
+``history``
+    Query the persistent run archive (``.repro/archive.db``, a SQLite
+    flight recorder every ``join``/``bench`` invocation appends to
+    unless ``--no-archive`` is given or ``REPRO_ARCHIVE`` is set
+    empty): ``list`` recent runs, ``show`` everything archived about
+    one, ``compare`` two under the ``diff`` regression policy,
+    ``trend`` a metric across runs as a sparkline with its fitted
+    slope, ``check`` the newest run against the rolling median of its
+    comparable predecessors (exit 1 on regression — the longitudinal
+    CI gate), and ``ingest`` to back-fill from existing artefact
+    files (spans/telemetry/record-trace JSONL, ``BENCH_wallclock.json``,
+    ``BENCH_summary.json``).
 """
 
 from __future__ import annotations
@@ -70,6 +82,7 @@ import math
 import os
 import sys
 import tempfile
+import time
 from dataclasses import replace
 from typing import List, Optional
 
@@ -197,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="worker telemetry sampling interval in seconds "
                            "(default 0.25); requires --parallel; implies "
                            "live telemetry collection")
+    join.add_argument("--no-archive", action="store_true",
+                      help="do not record this run in the persistent "
+                           "archive (.repro/archive.db; see `repro "
+                           "history`)")
     join.add_argument("--trace-sample", type=int, default=None, metavar="N",
                       help="trace records whose rid %% N == 0 across the "
                            "process boundary (deterministic; default 16 "
@@ -262,6 +279,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="skip the multi-core scaling sweep in "
                             "--wallclock mode (--workers caps its "
                             "worker counts)")
+    bench.add_argument("--no-archive", action="store_true",
+                       help="do not record this run in the persistent "
+                            "archive (.repro/archive.db; see `repro "
+                            "history`)")
     _add_obs_flags(bench, default_stride=100)
 
     trace = commands.add_parser(
@@ -382,6 +403,100 @@ def build_parser() -> argparse.ArgumentParser:
     stats = commands.add_parser("stats", help="describe a token file")
     stats.add_argument("input")
     stats.add_argument("--max-records", type=int, default=None)
+
+    history = commands.add_parser(
+        "history",
+        help="query the persistent run archive (.repro/archive.db)",
+    )
+    hsub = history.add_subparsers(dest="history_command", required=True)
+
+    def _history_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--db", default=None, metavar="PATH",
+                         help="archive database (default: $REPRO_ARCHIVE "
+                              "or .repro/archive.db)")
+
+    def _history_filters(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--command", dest="filter_command", default=None,
+                         metavar="CMD",
+                         help="filter by archiving command (join, bench, "
+                              "bench-wallclock)")
+        sub.add_argument("--method", default=None,
+                         help="filter by method label (LEN, PRE, ..., "
+                              "WALLCLOCK)")
+        sub.add_argument("--mode", default=None, choices=["exact", "approx"])
+        sub.add_argument("--workers", type=int, default=None)
+
+    hlist = hsub.add_parser("list", help="newest archived runs, one per line")
+    _history_common(hlist)
+    _history_filters(hlist)
+    hlist.add_argument("--limit", type=int, default=20)
+    hlist.add_argument("--json", action="store_true",
+                       help="print the raw run rows as JSON")
+
+    hshow = hsub.add_parser("show", help="everything archived about one run")
+    _history_common(hshow)
+    hshow.add_argument("run", help="run id, or 'last'")
+    hshow.add_argument("--json", action="store_true")
+
+    hcompare = hsub.add_parser(
+        "compare",
+        help="regression-gate one archived run against another "
+             "(`repro diff` policy on their stored fingerprints)",
+    )
+    _history_common(hcompare)
+    hcompare.add_argument("baseline", help="baseline run id")
+    hcompare.add_argument("current", help="current run id, or 'last'")
+    hcompare.add_argument("--rel-tol", type=float, default=1e-6,
+                          help="relative tolerance for banded headline "
+                               "metrics (default 1e-6)")
+    hcompare.add_argument("--json", action="store_true")
+
+    htrend = hsub.add_parser(
+        "trend", help="one metric across runs: sparkline + fitted slope"
+    )
+    _history_common(htrend)
+    _history_filters(htrend)
+    htrend.add_argument("--metric", required=True,
+                        help="a run column (wall_s, throughput, "
+                             "peak_rss_bytes), fingerprint counter "
+                             "(run_results, op:probe), stage digest "
+                             "(stage:e2e:p95_s) or bench leaf "
+                             "(probe_speedup)")
+    htrend.add_argument("--last", type=int, default=20,
+                        help="most recent matching runs to plot "
+                             "(default 20)")
+    htrend.add_argument("--json", action="store_true")
+
+    hcheck = hsub.add_parser(
+        "check",
+        help="gate a run against the rolling median of its comparable "
+             "predecessors; exit 1 on regression",
+    )
+    _history_common(hcheck)
+    hcheck.add_argument("run", nargs="?", default=None,
+                        help="run id to gate (default: the newest run)")
+    hcheck.add_argument("--metric", action="append", default=None,
+                        metavar="NAME",
+                        help="metric to gate (repeatable; default: every "
+                             "deterministic counter the run carries)")
+    hcheck.add_argument("--last", type=int, default=3,
+                        help="comparable prior runs forming the rolling "
+                             "median; fewer than this skips the gate "
+                             "(default 3)")
+    hcheck.add_argument("--tolerance", type=float, default=0.1,
+                        help="relative band for non-exact metrics; a "
+                             "change exactly at the tolerance passes "
+                             "(default 0.1)")
+    hcheck.add_argument("--json", action="store_true")
+
+    hingest = hsub.add_parser(
+        "ingest",
+        help="back-fill the archive from existing artefact files "
+             "(spans/telemetry/rectrace JSONL, BENCH_wallclock.json, "
+             "BENCH_summary.json)",
+    )
+    _history_common(hingest)
+    hingest.add_argument("paths", nargs="+", metavar="PATH")
     return parser
 
 
@@ -448,6 +563,34 @@ def _suffixed(path: str, suffix: str) -> str:
         return path
     root, ext = os.path.splitext(path)
     return f"{root}{suffix}{ext}"
+
+
+def _archive_capture(args, record) -> None:
+    """Append a finished run to the persistent archive.
+
+    ``record`` receives an open :class:`RunArchive` and returns the
+    new run id (or a list of them). Archiving is best-effort by
+    design: a full disk, a locked database or a future-schema file
+    must never fail the join/bench that just succeeded, so every
+    error degrades to a one-line stderr warning.
+    """
+    if getattr(args, "no_archive", False):
+        return
+    from repro.obs.archive import RunArchive, default_archive_path
+
+    path = default_archive_path()
+    if path is None:
+        return
+    try:
+        with RunArchive(path) as archive:
+            run_ids = record(archive)
+    except Exception as error:
+        print(f"archive: capture skipped ({error})", file=sys.stderr)
+        return
+    if isinstance(run_ids, int):
+        run_ids = [run_ids]
+    label = "run" if len(run_ids) == 1 else "runs"
+    print(f"archive: {label} {','.join(str(i) for i in run_ids)} -> {path}")
 
 
 def _cmd_join(args) -> int:
@@ -553,7 +696,9 @@ def _cmd_join(args) -> int:
     if args.parallel:
         return _join_parallel(args, config, stream)
     observer = _make_observer(args)
+    started = time.perf_counter()
     report = DistributedStreamJoin(config).run(stream, observer=observer)
+    wall_s = time.perf_counter() - started
     print(format_table([report.summary()]))
     if args.pairs and report.pairs is not None:
         for later, earlier, similarity in sorted(report.pairs, key=lambda p: -p[2]):
@@ -566,6 +711,9 @@ def _cmd_join(args) -> int:
             args.fingerprint_out, fingerprint_from_metrics(metrics_to_json(report.obs))
         )
         print(f"fingerprint: -> {path}")
+    _archive_capture(args, lambda archive: archive.record_cluster_run(
+        report, config, wall_s=wall_s, argv=getattr(args, "argv_raw", None),
+    ))
     if args.recall_floor is not None:
         exact_config = replace(config, mode="exact", collect_pairs=True)
         exact_report = DistributedStreamJoin(exact_config).run(stream)
@@ -703,6 +851,9 @@ def _join_parallel(args, config: JoinConfig, stream) -> int:
     if args.fingerprint_out:
         path = write_fingerprint(args.fingerprint_out, result.fingerprint())
         print(f"fingerprint: -> {path}")
+    _archive_capture(args, lambda archive: archive.record_parallel_run(
+        result, argv=getattr(args, "argv_raw", None),
+    ))
     if args.recall_floor is not None:
         from repro.parallel.runtime import run_serial
 
@@ -795,6 +946,13 @@ def _cmd_bench(args) -> int:
             print(render_verdict(verdict))
             if verdict["status"] != "ok":
                 return 1
+    _archive_capture(args, lambda archive: [
+        archive.record_cluster_run(
+            report, configs[label], command="bench",
+            argv=getattr(args, "argv_raw", None), seed=args.seed,
+        )
+        for label, report in reports.items()
+    ])
     return 0
 
 
@@ -839,6 +997,9 @@ def _bench_wallclock(args) -> int:
             json.dump(payload, handle, indent=1, sort_keys=True)
             handle.write("\n")
         print(f"wallclock: -> {args.wallclock_out}")
+    _archive_capture(args, lambda archive: archive.record_wallclock_payload(
+        payload, argv=getattr(args, "argv_raw", None),
+    ))
     if not correctness_ok(payload):
         print("bench: wall-clock run FAILED cross-engine correctness checks",
               file=sys.stderr)
@@ -1456,6 +1617,260 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_history(args) -> int:
+    """``repro history``: the longitudinal view over the run archive."""
+    from repro.obs.archive import (
+        DEFAULT_ARCHIVE_PATH,
+        ArchiveError,
+        RunArchive,
+        default_archive_path,
+    )
+
+    # --db wins; otherwise the auto-capture location, falling back to
+    # the well-known default even when REPRO_ARCHIVE disables capture
+    # (reading an existing archive is always allowed).
+    path = args.db or default_archive_path() or DEFAULT_ARCHIVE_PATH
+    handler = _HISTORY_COMMANDS[args.history_command]
+    try:
+        with RunArchive(path, create=args.history_command == "ingest") as archive:
+            return handler(args, archive)
+    except ArchiveError as error:
+        print(f"history: {error}", file=sys.stderr)
+        return 2
+
+
+def _resolve_run(archive, token: str) -> int:
+    """A run id argument: a number or the literal ``last``."""
+    from repro.obs.archive import ArchiveError
+
+    if token == "last":
+        run_id = archive.latest_run_id()
+        if run_id is None:
+            raise ArchiveError(f"{archive.path}: archive is empty")
+        return run_id
+    try:
+        return int(token)
+    except ValueError:
+        raise ArchiveError(
+            f"bad run id {token!r} (expected a number or 'last')"
+        ) from None
+
+
+def _history_list(args, archive) -> int:
+    runs = archive.list_runs(
+        command=args.filter_command, method=args.method,
+        mode=args.mode, workers=args.workers, limit=args.limit,
+    )
+    if args.json:
+        print(json.dumps(runs, indent=1, sort_keys=True))
+        return 0
+    if not runs:
+        print("history: no archived runs match")
+        return 0
+    rows = []
+    for run in runs:
+        sha = (run["git_sha"] or "")[:8]
+        if sha and run["git_dirty"]:
+            sha += "*"
+        rows.append({
+            "run": run["id"],
+            "when": time.strftime(
+                "%Y-%m-%d %H:%M", time.localtime(run["created_utc"])
+            ),
+            "command": run["command"],
+            "source": run["source"],
+            "method": run["method"] or "-",
+            "workers": run["workers"] if run["workers"] is not None else "-",
+            "shards": run["shards"] if run["shards"] is not None else "-",
+            "records": run["records"] if run["records"] is not None else "-",
+            "results": run["results"] if run["results"] is not None else "-",
+            "wall_s": (
+                round(run["wall_s"], 4) if run["wall_s"] is not None else "-"
+            ),
+            "sha": sha or "-",
+        })
+    print(format_table(rows))
+    return 0
+
+
+def _history_show(args, archive) -> int:
+    summary = archive.run_summary(_resolve_run(archive, args.run))
+    if args.json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    run = summary["run"]
+    print(f"run {run['id']}: {run['command']} ({run['source']}) "
+          f"method={run['method'] or '-'} mode={run['mode'] or '-'} "
+          f"workers={run['workers']} shards={run['shards']} "
+          f"transport={run['transport'] or '-'}")
+    when = time.strftime(
+        "%Y-%m-%d %H:%M:%S", time.localtime(run["created_utc"])
+    )
+    sha = (run["git_sha"] or "none")[:12] + ("*" if run["git_dirty"] else "")
+    print(f"  when {when}  git {sha}  host {run['host']} "
+          f"({run['platform']}, python {run['python']}, {run['cpus']} cpus)")
+    wall = f"{run['wall_s']:.4f}s" if run["wall_s"] is not None else "-"
+    rss = (
+        f"{run['peak_rss_bytes'] / 1e6:.1f}MB"
+        if run["peak_rss_bytes"] else "-"
+    )
+    print(f"  records {run['records']}  results {run['results']}  "
+          f"wall {wall}  peak rss {rss}")
+    if run["argv"]:
+        print(f"  argv {' '.join(json.loads(run['argv']))}")
+    if run["config_json"]:
+        config = json.loads(run["config_json"])
+        keys = ("similarity", "threshold", "distribution", "partitioning",
+                "mode", "window_seconds", "expiry", "batch_size")
+        print("  config " + " ".join(
+            f"{key}={config[key]}" for key in keys if key in config
+        ))
+    observables = summary["observables"]
+    for kind in ("exact", "banded", "signal", "worker"):
+        values = observables.get(kind)
+        if not values:
+            continue
+        print(f"  {kind}:")
+        for name, value in sorted(values.items()):
+            print(f"    {name} = {value:g}")
+    if summary["stages"]:
+        print("  stage latency:")
+        for stage, entry in sorted(summary["stages"].items()):
+            print(f"    {stage}: n={entry['count']} "
+                  f"mean={entry['mean_s'] * 1e3:.3f}ms "
+                  f"p50={entry['p50_s'] * 1e3:.3f}ms "
+                  f"p95={entry['p95_s'] * 1e3:.3f}ms "
+                  f"p99={entry['p99_s'] * 1e3:.3f}ms")
+    if summary["span_totals"]:
+        print("  span totals:")
+        for actor, phases in sorted(summary["span_totals"].items()):
+            mix = " ".join(
+                f"{phase}={seconds:.4f}s"
+                for phase, seconds in sorted(phases.items())
+            )
+            print(f"    {actor}: {mix}")
+    if summary["health"]:
+        print(f"  health events ({len(summary['health'])}):")
+        for event in summary["health"]:
+            print(f"    [{event['severity']}] {event['detector']} "
+                  f"t={event['time_s']}: {event['message']}")
+    if summary["bench"]:
+        print(f"  bench leaves: {len(summary['bench'])} "
+              f"(show --json for all)")
+        for path in sorted(summary["bench"]):
+            if path.startswith("headline."):
+                print(f"    {path} = {summary['bench'][path]:g}")
+    return 0
+
+
+def _history_compare(args, archive) -> int:
+    from repro.obs.archive import ArchiveError
+
+    baseline_id = _resolve_run(archive, args.baseline)
+    current_id = _resolve_run(archive, args.current)
+    baseline = archive.fingerprint(baseline_id)
+    current = archive.fingerprint(current_id)
+    for run_id, fingerprint in ((baseline_id, baseline), (current_id, current)):
+        if not fingerprint["exact"] and not fingerprint["banded"]:
+            raise ArchiveError(
+                f"run {run_id} has no fingerprint observables to compare "
+                f"(wall-clock runs are trended with `history trend`, "
+                f"gated with `history check`)"
+            )
+    verdict = compare_loaded(baseline, current, rel_tol=args.rel_tol)
+    if args.json:
+        print(json.dumps(verdict, indent=1, sort_keys=True))
+    else:
+        print(f"comparing run {baseline_id} (baseline) vs run {current_id}")
+        print(render_verdict(verdict))
+    return 0 if verdict["status"] == "ok" else 1
+
+
+def _history_trend(args, archive) -> int:
+    from repro.obs.archive import linear_slope
+    from repro.obs.timeseries import sparkline
+
+    if args.last < 1:
+        print(f"history: --last must be >= 1, got {args.last}",
+              file=sys.stderr)
+        return 2
+    points = archive.metric_series(
+        args.metric, command=args.filter_command, method=args.method,
+        mode=args.mode, workers=args.workers, last=args.last,
+    )
+    values = [value for _run_id, value in points]
+    slope = linear_slope(values)
+    if args.json:
+        print(json.dumps({
+            "metric": args.metric,
+            "points": [
+                {"run": run_id, "value": value} for run_id, value in points
+            ],
+            "min": min(values) if values else None,
+            "max": max(values) if values else None,
+            "slope": slope,
+        }, indent=1, sort_keys=True))
+        return 0
+    if not points:
+        print(f"history: no archived runs carry metric {args.metric!r}")
+        return 0
+    low = min(values)
+    spark = sparkline([value - low for value in values], width=len(values))
+    print(f"{args.metric}  {spark}  last={values[-1]:g}  "
+          f"min={low:g} max={max(values):g}  "
+          f"slope={slope:+.4g}/run  ({len(values)} runs: "
+          f"{points[0][0]}..{points[-1][0]})")
+    return 0
+
+
+def _history_check(args, archive) -> int:
+    from repro.obs.archive import render_check
+
+    if args.last < 1:
+        print(f"history: --last must be >= 1, got {args.last}",
+              file=sys.stderr)
+        return 2
+    if args.tolerance < 0:
+        print(f"history: --tolerance must be >= 0, got {args.tolerance}",
+              file=sys.stderr)
+        return 2
+    run_id = _resolve_run(archive, args.run) if args.run is not None else None
+    verdict = archive.check(
+        run_id, metrics=args.metric, last=args.last,
+        tolerance=args.tolerance,
+    )
+    if args.json:
+        print(json.dumps(verdict, indent=1, sort_keys=True))
+    else:
+        print(render_check(verdict))
+    return 1 if verdict["status"] == "regression" else 0
+
+
+def _history_ingest(args, archive) -> int:
+    for path in args.paths:
+        try:
+            ingested = archive.ingest_path(
+                path, argv=getattr(args, "argv_raw", None)
+            )
+        except (OSError, ValueError) as error:
+            # unreadable file, corrupt JSONL, unrecognized artefact
+            print(f"history: {error}", file=sys.stderr)
+            return 2
+        for run_id, family in ingested:
+            print(f"ingest: {path} ({family}) -> run {run_id}")
+    return 0
+
+
+_HISTORY_COMMANDS = {
+    "list": _history_list,
+    "show": _history_show,
+    "compare": _history_compare,
+    "trend": _history_trend,
+    "check": _history_check,
+    "ingest": _history_ingest,
+}
+
+
 _COMMANDS = {
     "join": _cmd_join,
     "bench": _cmd_bench,
@@ -1467,11 +1882,14 @@ _COMMANDS = {
     "explain": _cmd_explain,
     "generate": _cmd_generate,
     "stats": _cmd_stats,
+    "history": _cmd_history,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # The raw argv is archived with each run as provenance.
+    args.argv_raw = list(argv) if argv is not None else sys.argv[1:]
     return _COMMANDS[args.command](args)
 
 

@@ -1,0 +1,103 @@
+"""Shared loading for the JSONL observability artefacts.
+
+Every artefact the runtime writes — span dumps, record traces, live
+telemetry, health events, tuple traces — is line-delimited JSON with a
+header object first.  Each analyzer used to hand-roll the same loop
+(strip, skip blanks, ``json.loads``, reject non-objects) with its own
+copy of the error wording; they now all call :func:`load_jsonl_objects`
+so a truncated or corrupted file fails with one pointed, consistent
+``file:line`` message instead of five near-identical ones.
+
+:func:`artefact_family` sniffs which family a loaded dump belongs to
+from its header line, which is what lets ``repro history ingest``
+accept any artefact path without a ``--format`` flag.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "ArtefactError",
+    "load_jsonl_objects",
+    "artefact_family",
+]
+
+
+class ArtefactError(ValueError):
+    """A JSONL artefact could not be parsed (corrupt or truncated).
+
+    Subclasses ``ValueError`` so every pre-existing caller that caught
+    the loaders' ``ValueError`` keeps working unchanged.
+    """
+
+
+def load_jsonl_objects(
+    path: str, noun: str, snippet: bool = False
+) -> List[Dict[str, object]]:
+    """All lines of a JSONL artefact as dicts, with pointed errors.
+
+    ``noun`` names the line kind in error messages ("span", "trace",
+    "telemetry", "health"), preserving each analyzer's historical
+    wording. With ``snippet=True`` the message appends the offending
+    line's first 80 characters (the tuple-trace loader's richer
+    format, useful when the artefact is hand-edited).
+    """
+    rows: List[Dict[str, object]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as error:
+                if snippet:
+                    message = (
+                        f"{path}:{number}: corrupt {noun} line "
+                        f"(not valid JSON: {error.msg}): {line[:80]!r}"
+                    )
+                else:
+                    message = f"{path}:{number}: corrupt {noun} line ({error})"
+                raise ArtefactError(message) from error
+            if not isinstance(row, dict):
+                if snippet:
+                    message = (
+                        f"{path}:{number}: corrupt {noun} line "
+                        f"(expected a JSON object): {line[:80]!r}"
+                    )
+                else:
+                    message = f"{path}:{number}: {noun} line is not an object"
+                raise ArtefactError(message)
+            rows.append(row)
+    return rows
+
+
+def artefact_family(rows: List[Dict[str, object]]) -> Optional[str]:
+    """Which artefact family a loaded JSONL dump belongs to.
+
+    Every family writes a ``kind: "header"`` first line; what differs
+    is the header's field set, exactly what each analyzer's validator
+    keys on: record traces stamp ``artefact="rectrace"`` explicitly,
+    span headers carry the capture ``overhead``, telemetry headers the
+    heartbeat ``interval``, health headers the detector ``thresholds``
+    (and nothing run-shaped), and tuple-trace headers describe their
+    ``sampler``. Returns ``None`` when nothing matches.
+    """
+    if not rows:
+        return None
+    header = rows[0]
+    if header.get("kind") != "header":
+        return None
+    if header.get("artefact") == "rectrace":
+        return "rectrace"
+    if "overhead" in header:
+        return "spans"
+    if "interval" in header:
+        return "telemetry"
+    if "sampler" in header:
+        return "trace"
+    if "thresholds" in header:
+        return "health"
+    return None

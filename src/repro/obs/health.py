@@ -46,6 +46,8 @@ import json
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.artefact import load_jsonl_objects
+
 HEALTH_SCHEMA_VERSION = 1
 
 SEVERITIES = ("info", "warning", "critical")
@@ -448,22 +450,7 @@ class HealthMonitor:
 
 def load_health_jsonl(path: str) -> List[Dict[str, object]]:
     """All lines of a JSONL health dump as dicts (pointed errors)."""
-    rows: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{number}: corrupt health line ({error})"
-                ) from error
-            if not isinstance(row, dict):
-                raise ValueError(f"{path}:{number}: health line is not an object")
-            rows.append(row)
-    return rows
+    return load_jsonl_objects(path, "health")
 
 
 def validate_health_lines(rows: Iterable[Dict[str, object]]) -> List[str]:

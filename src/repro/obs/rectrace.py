@@ -50,6 +50,7 @@ import time
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.artefact import load_jsonl_objects
 from repro.storm.metrics import LatencySampler
 
 RECTRACE_SCHEMA_VERSION = 1
@@ -251,22 +252,7 @@ def write_rectrace_jsonl(
 
 def load_rectrace_jsonl(path: str) -> List[Dict[str, object]]:
     """All lines of a rectrace dump as dicts (pointed errors)."""
-    rows: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{number}: corrupt trace line ({error})"
-                ) from error
-            if not isinstance(row, dict):
-                raise ValueError(f"{path}:{number}: trace line is not an object")
-            rows.append(row)
-    return rows
+    return load_jsonl_objects(path, "trace")
 
 
 def validate_rectrace_lines(rows: Iterable[Dict[str, object]]) -> List[str]:

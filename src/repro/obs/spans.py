@@ -67,6 +67,7 @@ import time
 from array import array
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.obs.artefact import load_jsonl_objects
 from repro.obs.timeline import TimelineRecorder
 
 SPANS_SCHEMA_VERSION = 1
@@ -273,22 +274,7 @@ def write_spans_jsonl(
 
 def load_spans_jsonl(path: str) -> List[Dict[str, object]]:
     """All lines of a span dump as dicts (pointed errors on corruption)."""
-    rows: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{number}: corrupt span line ({error})"
-                ) from error
-            if not isinstance(row, dict):
-                raise ValueError(f"{path}:{number}: span line is not an object")
-            rows.append(row)
-    return rows
+    return load_jsonl_objects(path, "span")
 
 
 def validate_span_lines(rows: Iterable[Dict[str, object]]) -> List[str]:

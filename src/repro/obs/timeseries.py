@@ -36,6 +36,7 @@ import json
 import time
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.obs.artefact import load_jsonl_objects
 from repro.obs.health import HealthMonitor, HealthThresholds
 
 TELEMETRY_SCHEMA_VERSION = 1
@@ -289,24 +290,7 @@ class TelemetryRecorder:
 
 def load_telemetry_jsonl(path: str) -> List[Dict[str, object]]:
     """All lines of a telemetry dump as dicts (pointed errors)."""
-    rows: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{number}: corrupt telemetry line ({error})"
-                ) from error
-            if not isinstance(row, dict):
-                raise ValueError(
-                    f"{path}:{number}: telemetry line is not an object"
-                )
-            rows.append(row)
-    return rows
+    return load_jsonl_objects(path, "telemetry")
 
 
 def validate_telemetry_lines(rows: Iterable[Dict[str, object]]) -> List[str]:

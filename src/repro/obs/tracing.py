@@ -23,6 +23,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.obs.artefact import load_jsonl_objects
 from repro.records import Record
 
 #: Required fields of a span line and their types.
@@ -240,23 +241,4 @@ def load_trace_jsonl(path: str) -> List[Dict[str, object]]:
     the smoke gate in particular — can fail with a pointed message
     instead of a raw traceback.
     """
-    rows: List[Dict[str, object]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                row = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise ValueError(
-                    f"{path}:{lineno}: corrupt trace line "
-                    f"(not valid JSON: {error.msg}): {line[:80]!r}"
-                ) from error
-            if not isinstance(row, dict):
-                raise ValueError(
-                    f"{path}:{lineno}: corrupt trace line "
-                    f"(expected a JSON object): {line[:80]!r}"
-                )
-            rows.append(row)
-    return rows
+    return load_jsonl_objects(path, "trace", snippet=True)

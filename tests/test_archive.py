@@ -1,0 +1,500 @@
+"""The persistent run archive: schema migrations, round-trip fidelity,
+ingestion adapters, the rolling-median regression gate and the
+``repro history`` CLI."""
+
+import json
+import os
+import sqlite3
+
+import pytest
+
+from repro.cli import main
+from repro.core.config import JoinConfig
+from repro.datasets.corpora import synthetic_aol
+from repro.obs.archive import (
+    ARCHIVE_SCHEMA_VERSION,
+    ArchiveError,
+    FutureSchemaError,
+    RunArchive,
+    _flatten_numeric,
+    default_archive_path,
+    linear_slope,
+    metric_policy,
+)
+from repro.parallel.runtime import ParallelJoinRunner, run_serial
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture
+def records():
+    return list(synthetic_aol(200, seed=11))
+
+
+@pytest.fixture
+def config():
+    return JoinConfig(threshold=0.7)
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "archive.db")
+
+
+def _record_serial(archive, config, records, **kwargs):
+    return archive.record_parallel_run(
+        run_serial(config, records), **kwargs
+    )
+
+
+class TestMigrations:
+    def test_fresh_database_is_current_version(self, db):
+        with RunArchive(db) as archive:
+            version = archive.conn.execute("PRAGMA user_version").fetchone()[0]
+            assert version == ARCHIVE_SCHEMA_VERSION
+            tables = {
+                row[0]
+                for row in archive.conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+        assert {"runs", "observables", "stage_latency", "span_totals",
+                "health_events", "bench_sections"} <= tables
+
+    def test_v0_database_forward_migrates(self, db, config, records):
+        # A pre-versioning database: v1 tables already exist but
+        # user_version was never stamped. Opening it must upgrade in
+        # place without clobbering existing rows.
+        with RunArchive(db) as archive:
+            run_id = _record_serial(archive, config, records)
+            archive.conn.execute("PRAGMA user_version = 0")
+            archive.conn.execute("DROP TABLE bench_sections")
+            archive.conn.commit()
+        with RunArchive(db) as archive:
+            version = archive.conn.execute("PRAGMA user_version").fetchone()[0]
+            assert version == ARCHIVE_SCHEMA_VERSION
+            assert archive.run_row(run_id)["records"] == 200
+            # v2's table came back
+            archive.conn.execute("SELECT COUNT(*) FROM bench_sections")
+
+    def test_future_schema_is_refused(self, db, capsys):
+        conn = sqlite3.connect(db)
+        conn.execute(f"PRAGMA user_version = {ARCHIVE_SCHEMA_VERSION + 7}")
+        conn.commit()
+        conn.close()
+        with pytest.raises(FutureSchemaError):
+            RunArchive(db)
+        assert main(["history", "list", "--db", db]) == 2
+        err = capsys.readouterr().err
+        assert "newer than this build" in err
+
+    def test_non_archive_file_is_refused(self, tmp_path, capsys):
+        path = tmp_path / "not-a-db"
+        path.write_text("definitely not sqlite")
+        with pytest.raises(ArchiveError):
+            RunArchive(str(path))
+        assert main(["history", "list", "--db", str(path)]) == 2
+
+    def test_missing_database_is_pointed_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.db")
+        assert main(["history", "list", "--db", missing]) == 2
+        assert "no archive at" in capsys.readouterr().err
+
+
+class TestRoundTrip:
+    def test_fingerprint_bit_identical(self, db, config, records):
+        result = run_serial(config, records)
+        with RunArchive(db) as archive:
+            run_id = archive.record_parallel_run(result)
+            assert archive.fingerprint(run_id) == result.fingerprint()
+
+    def test_config_snapshot_round_trips(self, db, config, records):
+        import dataclasses
+
+        with RunArchive(db) as archive:
+            run_id = _record_serial(archive, config, records)
+            stored = json.loads(archive.run_row(run_id)["config_json"])
+        # includes the infinite default window, via JSON's Infinity
+        assert stored == dataclasses.asdict(config)
+
+    def test_stage_latency_round_trips_exactly(self, db, config, records):
+        result = ParallelJoinRunner(config, workers=1, trace=True).run(records)
+        digest = result.latency_digest()
+        assert "e2e" in digest
+        with RunArchive(db) as archive:
+            run_id = archive.record_parallel_run(result)
+            stored = archive.run_summary(run_id)["stages"]
+        assert set(stored) == set(digest)
+        for stage, entry in digest.items():
+            for field in ("count", "mean_s", "p50_s", "p95_s", "p99_s"):
+                assert stored[stage][field] == entry[field], (stage, field)
+
+    def test_provenance_recorded(self, db, config, records):
+        with RunArchive(db) as archive:
+            run = archive.run_row(_record_serial(archive, config, records))
+        assert run["python"] and run["host"]
+        assert run["cpus"] >= 1
+        # the test suite runs inside the repo, so git identity resolves
+        assert run["git_sha"] is None or len(run["git_sha"]) == 40
+
+    def test_wallclock_payload_round_trips_exactly(self, db):
+        path = os.path.join(REPO_ROOT, "BENCH_wallclock.json")
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        with RunArchive(db) as archive:
+            (run_id, family), = archive.ingest_path(path)
+            assert family == "wallclock"
+            headline = payload["headline"]
+            assert archive.metric_value(run_id, "headline.probe_speedup") \
+                == headline["probe_speedup"]
+            # bare leaf resolves through the headline section
+            assert archive.metric_value(run_id, "probe_speedup") \
+                == headline["probe_speedup"]
+            corpus = headline["corpus"]
+            entry = payload["corpora"][corpus]
+            for leaf in ("records", "results", "posting_scans",
+                         "candidate_admits", "result_emits"):
+                assert archive.metric_value(
+                    run_id, f"corpora.{corpus}.{leaf}"
+                ) == entry[leaf]
+
+    def test_committed_seed_matches_reports(self):
+        seed_db = os.path.join(
+            REPO_ROOT, "benchmarks", "baselines", "archive.db"
+        )
+        with open(
+            os.path.join(REPO_ROOT, "BENCH_wallclock.json"), encoding="utf-8"
+        ) as handle:
+            wallclock = json.load(handle)
+        with RunArchive(seed_db, create=False) as archive:
+            runs = archive.list_runs(method="WALLCLOCK", limit=None)
+            assert runs, "seed archive has no wallclock run"
+            run_id = runs[0]["id"]
+            assert archive.metric_value(run_id, "headline.probe_speedup") \
+                == wallclock["headline"]["probe_speedup"]
+
+
+class TestIngestAdapters:
+    @pytest.fixture
+    def artefacts(self, tmp_path, config, records):
+        result = ParallelJoinRunner(
+            config, workers=2, trace=True, spans=True, telemetry=True
+        ).run(records)
+        paths = {
+            "rectrace": str(tmp_path / "rect.jsonl"),
+            "spans": str(tmp_path / "spans.jsonl"),
+            "telemetry": str(tmp_path / "telemetry.jsonl"),
+        }
+        result.write_rectrace(paths["rectrace"])
+        result.write_spans(paths["spans"])
+        with open(paths["telemetry"], "w", encoding="utf-8") as handle:
+            for row in result.telemetry:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        return result, paths
+
+    def test_ingest_families(self, db, artefacts):
+        result, paths = artefacts
+        with RunArchive(db) as archive:
+            for family, path in paths.items():
+                (run_id, detected), = archive.ingest_path(path)
+                assert detected == family
+                run = archive.run_row(run_id)
+                assert run["source"] == f"ingest:{family}"
+                assert run["workers"] == 2
+
+    def test_rectrace_ingest_carries_latency_digest(self, db, artefacts):
+        result, paths = artefacts
+        digest = result.latency_digest()
+        with RunArchive(db) as archive:
+            (run_id, _), = archive.ingest_path(paths["rectrace"])
+            stored = archive.run_summary(run_id)["stages"]
+            assert archive.metric_value(run_id, "stage:e2e:p95_s") \
+                == digest["e2e"]["p95_s"]
+        assert set(stored) == set(digest)
+
+    def test_spans_ingest_carries_phase_totals(self, db, artefacts):
+        result, paths = artefacts
+        with RunArchive(db) as archive:
+            (run_id, _), = archive.ingest_path(paths["spans"])
+            stored = archive.run_summary(run_id)["span_totals"]
+        assert "driver" in stored
+        assert any(actor.startswith("worker:") for actor in stored)
+
+    def test_unrecognized_files_are_pointed_errors(self, db, tmp_path):
+        token_file = tmp_path / "corpus.jsonl"
+        token_file.write_text('{"kind": "mystery"}\n')
+        other = tmp_path / "other.json"
+        other.write_text('{"whatever": 1}\n')
+        with RunArchive(db) as archive:
+            with pytest.raises(ArchiveError, match="unrecognized artefact"):
+                archive.ingest_path(str(token_file))
+            with pytest.raises(ArchiveError, match="not an ingestable"):
+                archive.ingest_path(str(other))
+
+
+class TestCheck:
+    def _seed(self, archive, config, records, n=3):
+        result = run_serial(config, records)
+        return [
+            archive.record_parallel_run(result) for _ in range(n)
+        ], result
+
+    def test_replay_passes(self, db, config, records):
+        with RunArchive(db) as archive:
+            _, result = self._seed(archive, config, records)
+            current = archive.record_parallel_run(result)
+            verdict = archive.check(current, last=3)
+        assert verdict["status"] == "ok"
+        assert verdict["checks"] > 0 and not verdict["failures"]
+
+    def test_exact_drift_regresses(self, db, config, records):
+        with RunArchive(db) as archive:
+            _, result = self._seed(archive, config, records)
+            current = archive.record_parallel_run(result)
+            archive.conn.execute(
+                "UPDATE observables SET value = value + 1 "
+                "WHERE run_id = ? AND name = 'run_results'", (current,)
+            )
+            archive.conn.commit()
+            verdict = archive.check(current, last=3)
+        assert verdict["status"] == "regression"
+        assert any(
+            f["metric"] == "run_results" and f["policy"] == "exact"
+            for f in verdict["failures"]
+        )
+
+    def test_too_few_comparable_runs_skip(self, db, config, records):
+        with RunArchive(db) as archive:
+            self._seed(archive, config, records, n=3)
+            verdict = archive.check(last=3)
+        assert verdict["status"] == "skip"
+        assert "2 comparable prior" in verdict["skipped"][0]
+
+    def test_different_shape_is_not_comparable(self, db, config, records):
+        with RunArchive(db) as archive:
+            self._seed(archive, config, records, n=3)
+            other = archive.record_parallel_run(
+                run_serial(JoinConfig(threshold=0.9), records)
+            )
+            verdict = archive.check(other, last=3)
+        assert verdict["status"] == "skip"
+
+    def _banded_fixture(self, archive, config, records, walls):
+        """Runs whose wall_s is pinned to the given values; returns
+        the last run's id."""
+        ids, _ = self._seed(archive, config, records, n=len(walls))
+        for run_id, wall in zip(ids, walls):
+            archive.conn.execute(
+                "UPDATE runs SET wall_s = ? WHERE id = ?", (wall, run_id)
+            )
+        archive.conn.commit()
+        return ids[-1]
+
+    def test_exactly_at_tolerance_passes(self, db, config, records):
+        with RunArchive(db) as archive:
+            current = self._banded_fixture(
+                archive, config, records, [100.0, 100.0, 100.0, 110.0]
+            )
+            verdict = archive.check(
+                current, metrics=["wall_s"], last=3, tolerance=0.1
+            )
+            assert verdict["status"] == "ok", verdict
+            # one hair past the band fails (wall_s is lower-better)
+            archive.conn.execute(
+                "UPDATE runs SET wall_s = 110.001 WHERE id = ?", (current,)
+            )
+            archive.conn.commit()
+            verdict = archive.check(
+                current, metrics=["wall_s"], last=3, tolerance=0.1
+            )
+        assert verdict["status"] == "regression"
+
+    def test_direction_aware_improvement(self, db, config, records):
+        with RunArchive(db) as archive:
+            current = self._banded_fixture(
+                archive, config, records, [100.0, 100.0, 100.0, 50.0]
+            )
+            verdict = archive.check(
+                current, metrics=["wall_s"], last=3, tolerance=0.1
+            )
+        assert verdict["status"] == "ok"
+        assert verdict["improvements"]
+
+    def test_missing_metric_skips_not_fails(self, db, config, records):
+        with RunArchive(db) as archive:
+            _, result = self._seed(archive, config, records)
+            current = archive.record_parallel_run(result)
+            verdict = archive.check(
+                current, metrics=["stage:e2e:p95_s"], last=3
+            )
+        assert verdict["status"] == "ok"
+        assert verdict["checks"] == 0 and verdict["skipped"]
+
+
+class TestPolicyHelpers:
+    def test_metric_policy(self):
+        assert metric_policy("run_results", {"run_results"}) == "exact"
+        assert metric_policy("op:posting_scan") == "exact"
+        assert metric_policy("corpora.AOL.posting_scans") == "exact"
+        assert metric_policy("probe_speedup") == "higher_better"
+        assert metric_policy("run_capacity_throughput") == "higher_better"
+        assert metric_policy("run_makespan_seconds") == "lower_better"
+        assert metric_policy("wall_s") == "lower_better"
+        assert metric_policy("stage:e2e:p95_s") == "lower_better"
+
+    def test_linear_slope(self):
+        assert linear_slope([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+        assert linear_slope([5.0, 5.0, 5.0]) == 0.0
+        assert linear_slope([3.0]) == 0.0
+        assert linear_slope([4.0, 2.0]) == pytest.approx(-2.0)
+
+    def test_flatten_numeric(self):
+        flat = _flatten_numeric({
+            "a": {"b": 2, "ok": True, "skip": "text", "none": None},
+            "list": [1.5, {"c": 3}],
+        })
+        assert flat == {
+            "a.b": 2.0, "a.ok": 1.0, "list.0": 1.5, "list.1.c": 3.0,
+        }
+
+    def test_default_archive_path_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARCHIVE", raising=False)
+        assert default_archive_path() == os.path.join(".repro", "archive.db")
+        monkeypatch.setenv("REPRO_ARCHIVE", "/elsewhere/a.db")
+        assert default_archive_path() == "/elsewhere/a.db"
+        monkeypatch.setenv("REPRO_ARCHIVE", "")
+        assert default_archive_path() is None
+
+
+class TestHistoryCli:
+    @pytest.fixture
+    def corpus_file(self, tmp_path):
+        path = tmp_path / "corpus.txt"
+        path.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\nomega psi chi rho\n" * 4
+        )
+        return path
+
+    @pytest.fixture
+    def env_db(self, tmp_path, monkeypatch):
+        db = str(tmp_path / "env-archive.db")
+        monkeypatch.setenv("REPRO_ARCHIVE", db)
+        return db
+
+    def test_join_autocapture_and_roundtrip(
+        self, corpus_file, env_db, capsys
+    ):
+        assert main(["join", str(corpus_file), "--parallel", "--workers", "2",
+                     "--threshold", "0.7", "--trace-sample", "4"]) == 0
+        out = capsys.readouterr().out
+        assert f"archive: run 1 -> {env_db}" in out
+        # the archived fingerprint is bit-identical to the live one
+        from repro.datasets.loader import load_token_file
+
+        stream, _ = load_token_file(str(corpus_file))
+        result = ParallelJoinRunner(
+            JoinConfig(threshold=0.7), workers=2
+        ).run(stream)
+        with RunArchive(env_db, create=False) as archive:
+            assert archive.fingerprint(1) == result.fingerprint()
+            stages = archive.run_summary(1)["stages"]
+        assert "e2e" in stages  # --trace-sample archived the digest
+
+        assert main(["history", "show", "last"]) == 0
+        shown = capsys.readouterr().out
+        assert "run 1: join (live)" in shown
+        assert "threshold=0.7" in shown
+        assert main(["history", "list", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1 and rows[0]["transport"] is not None
+
+    def test_no_archive_flag_suppresses_capture(
+        self, corpus_file, env_db, capsys
+    ):
+        assert main(["join", str(corpus_file), "--threshold", "0.7",
+                     "--no-archive"]) == 0
+        assert "archive:" not in capsys.readouterr().out
+        assert not os.path.exists(env_db)
+
+    def test_empty_env_disables_capture(
+        self, corpus_file, monkeypatch, capsys
+    ):
+        monkeypatch.setenv("REPRO_ARCHIVE", "")
+        assert main(["join", str(corpus_file), "--threshold", "0.7"]) == 0
+        assert "archive:" not in capsys.readouterr().out
+
+    def test_capture_failure_never_fails_the_run(
+        self, corpus_file, tmp_path, monkeypatch, capsys
+    ):
+        bad = tmp_path / "not-a-db"
+        bad.write_text("garbage")
+        monkeypatch.setenv("REPRO_ARCHIVE", str(bad))
+        assert main(["join", str(corpus_file), "--threshold", "0.7"]) == 0
+        assert "archive: capture skipped" in capsys.readouterr().err
+
+    def test_check_and_compare_flow(self, corpus_file, env_db, capsys):
+        argv = ["join", str(corpus_file), "--parallel", "--workers", "2",
+                "--threshold", "0.7"]
+        for _ in range(3):
+            assert main(argv) == 0
+        capsys.readouterr()
+        # replay: comparable, exact counters identical -> exit 0
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(["history", "check", "--last", "3"]) == 0
+        assert "check: ok" in capsys.readouterr().out
+        # compare two runs under the diff policy
+        assert main(["history", "compare", "1", "last"]) == 0
+        assert "comparing run 1" in capsys.readouterr().out
+        # synthetic regression -> check exits 1
+        with RunArchive(env_db) as archive:
+            archive.conn.execute(
+                "UPDATE observables SET value = value + 5 "
+                "WHERE run_id = 4 AND name = 'run_results'"
+            )
+            archive.conn.commit()
+        assert main(["history", "check", "4", "--last", "3"]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out and "run_results" in out
+        # ...and compare against the unmodified baseline also fails
+        assert main(["history", "compare", "1", "4"]) == 1
+
+    def test_check_cold_archive_exits_zero(self, corpus_file, env_db, capsys):
+        assert main(["join", str(corpus_file), "--threshold", "0.7"]) == 0
+        capsys.readouterr()
+        assert main(["history", "check", "--last", "3"]) == 0
+        assert "check: skip" in capsys.readouterr().out
+
+    def test_trend_sparkline_and_json(self, corpus_file, env_db, capsys):
+        for _ in range(3):
+            assert main(["join", str(corpus_file), "--threshold", "0.7"]) == 0
+        capsys.readouterr()
+        assert main(["history", "trend", "--metric", "run_results"]) == 0
+        out = capsys.readouterr().out
+        assert "run_results" in out and "slope=" in out
+        assert main(["history", "trend", "--metric", "run_results",
+                     "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["points"]) == 3
+        assert data["slope"] == 0.0
+        values = {point["value"] for point in data["points"]}
+        assert len(values) == 1  # deterministic replay
+
+    def test_ingest_command(self, env_db, tmp_path, capsys):
+        assert main(["history", "ingest",
+                     os.path.join(REPO_ROOT, "BENCH_wallclock.json"),
+                     os.path.join(REPO_ROOT, "BENCH_summary.json")]) == 0
+        out = capsys.readouterr().out
+        assert "(wallclock) -> run 1" in out and "(summary)" in out
+        assert main(["history", "trend", "--metric", "probe_speedup",
+                     "--method", "WALLCLOCK"]) == 0
+        assert "probe_speedup" in capsys.readouterr().out
+
+    def test_history_rejects_bad_run_id(self, env_db, corpus_file, capsys):
+        assert main(["join", str(corpus_file), "--threshold", "0.7"]) == 0
+        capsys.readouterr()
+        assert main(["history", "show", "99"]) == 2
+        assert "no run 99" in capsys.readouterr().err
+        assert main(["history", "show", "banana"]) == 2
+        assert "bad run id" in capsys.readouterr().err

@@ -134,3 +134,31 @@ class TestWorkMeter:
         meter.event("b", 3)
         assert ctx.charged == [("a", 2)]
         assert ctx.counted == [("b", 3)]
+
+
+class TestArchiveOverheadSection:
+    def test_section_shape_and_correctness(self):
+        from repro.bench.wallclock import (
+            ARCHIVE_OVERHEAD_TARGET,
+            archive_overhead_section,
+        )
+
+        section = archive_overhead_section(
+            workers=2, repeats=1, scale=0.02, seed=7
+        )
+        assert section["target"] == ARCHIVE_OVERHEAD_TARGET
+        assert section["wall_run_s"] > 0
+        assert section["archive_write_s"] >= 0
+        # the payload rounds the fraction to 4 decimals
+        assert section["overhead_fraction"] == pytest.approx(
+            section["archive_write_s"] / section["wall_run_s"], abs=5e-5
+        )
+        assert section["archived_observables"] > 0
+        # fidelity is gated; the timing target is reported, not gated
+        assert section["correctness"] == {
+            "matches_equal": True,
+            "operations_equal": True,
+            "events_equal": True,
+            "fingerprint_roundtrip": True,
+        }
+        assert isinstance(section["meets_target"], bool)

@@ -490,6 +490,11 @@ class TestBench:
         assert scaling["host_cpus"] >= 1
         telemetry = payload["parallel"]["telemetry"]
         assert all(telemetry["correctness"].values())
+        archive = payload["parallel"]["archive"]
+        assert all(archive["correctness"].values())
+        assert archive["correctness"]["fingerprint_roundtrip"]
+        assert archive["archive_write_s"] >= 0
+        assert archive["archived_observables"] > 0
         latency = payload["parallel"]["latency"]
         assert all(latency["correctness"].values())
         assert latency["traced"] >= 1
@@ -606,3 +611,78 @@ class TestParser:
     def test_rejects_unknown_corpus(self):
         with pytest.raises(SystemExit):
             main(["bench", "--corpus", "WIKI"])
+
+
+class TestDiffCli:
+    """`repro diff` against written fingerprints, text and --json."""
+
+    @pytest.fixture
+    def fingerprints(self, tmp_path):
+        corpus = tmp_path / "c.txt"
+        corpus.write_text(
+            "alpha beta gamma\nalpha beta gamma delta\nomega psi chi\n"
+            "alpha beta gamma\nomega psi chi rho\n" * 3
+        )
+        paths = []
+        for name in ("base.json", "curr.json"):
+            out = tmp_path / name
+            assert main(["join", str(corpus), "--threshold", "0.7",
+                         "--fingerprint-out", str(out)]) == 0
+            paths.append(out)
+        return paths
+
+    def test_replay_is_ok(self, fingerprints, capsys):
+        base, curr = fingerprints
+        capsys.readouterr()
+        assert main(["diff", str(base), str(curr)]) == 0
+        assert "diff: ok" in capsys.readouterr().out
+
+    def test_json_verdict_shape(self, fingerprints, capsys):
+        base, curr = fingerprints
+        capsys.readouterr()
+        assert main(["diff", str(base), str(curr), "--json"]) == 0
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["status"] == "ok"
+        assert verdict["failures"] == []
+        assert verdict["checks"] > 0
+
+    def test_exact_drift_fails_with_json(self, fingerprints, capsys):
+        base, curr = fingerprints
+        data = json.loads(curr.read_text())
+        data["exact"]["run_results"]["total"] += 1
+        curr.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["diff", str(base), str(curr), "--json"]) == 1
+        verdict = json.loads(capsys.readouterr().out)
+        assert verdict["status"] == "regression"
+        assert any(f["metric"] == "run_results" and f["policy"] == "exact"
+                   for f in verdict["failures"])
+
+    def test_missing_file_is_usage_error(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["diff", missing, missing]) == 2
+        assert "diff:" in capsys.readouterr().err
+
+
+class TestExplainCli:
+    def test_json_attribution_shape(self, capsys):
+        assert main(["explain", "BRD", "LEN", "--records", "300",
+                     "--seed", "5", "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert result["method_a"] == "BRD"
+        assert result["method_b"] == "LEN"
+        assert result["records"] == 300
+        assert set(result["categories"])
+        total = sum(c["throughput_contribution"]
+                    for c in result["categories"].values())
+        assert total == pytest.approx(result["gap"], rel=1e-6)
+
+    def test_text_rendering(self, capsys):
+        assert main(["explain", "BRD", "LEN", "--records", "300",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "n=300" in out and "BRD" in out
+
+    def test_same_method_rejected(self, capsys):
+        assert main(["explain", "LEN", "LEN"]) == 2
+        assert "must differ" in capsys.readouterr().err
